@@ -1,0 +1,127 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (see DESIGN.md's per-experiment index) and runs Bechamel microbenchmarks
+   of BFC's per-packet dataplane operations.
+
+   Usage:
+     dune exec bench/main.exe                 -- all targets, quick profile
+     dune exec bench/main.exe -- fig9 fig13   -- selected targets
+     dune exec bench/main.exe -- --profile paper fig11
+     dune exec bench/main.exe -- --micro      -- only the microbenchmarks *)
+
+module Experiments = Bfc_sim.Experiments
+module Exp_common = Bfc_sim.Exp_common
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: the constant-time per-packet operations the
+   paper argues fit a switch pipeline (§3.3). *)
+
+let micro_tests () =
+  let open Bechamel in
+  let ft = Bfc_core.Flow_table.create ~egresses:32 ~queues_per_port:32 ~mult:100 in
+  let pc = Bfc_core.Pause_counter.create ~ingresses:32 ~max_upstream_q:128 in
+  let rng = Bfc_util.Rng.create 99 in
+  let dqa = Bfc_core.Dqa.create ~egresses:32 ~queues:31 ~policy:Bfc_core.Dqa.Dynamic ~rng in
+  let counter = ref 0 in
+  let t_ft =
+    Test.make ~name:"flow_table lookup+update"
+      (Staged.stage (fun () ->
+           incr counter;
+           let e = Bfc_core.Flow_table.entry ft ~egress:(!counter land 31) ~fid_hash:!counter in
+           e.Bfc_core.Flow_table.size <- e.Bfc_core.Flow_table.size + 1;
+           e.Bfc_core.Flow_table.size <- e.Bfc_core.Flow_table.size - 1))
+  in
+  let t_pc =
+    Test.make ~name:"pause_counter incr+decr"
+      (Staged.stage (fun () ->
+           incr counter;
+           let ingress = !counter land 31 and upstream_q = !counter land 127 in
+           ignore (Bfc_core.Pause_counter.incr pc ~ingress ~upstream_q);
+           ignore (Bfc_core.Pause_counter.decr pc ~ingress ~upstream_q)))
+  in
+  let t_dqa =
+    Test.make ~name:"dqa assign+release"
+      (Staged.stage (fun () ->
+           incr counter;
+           let egress = !counter land 31 in
+           let q = Bfc_core.Dqa.assign dqa ~egress ~fid_hash:!counter in
+           Bfc_core.Dqa.mark_occupied dqa ~egress ~queue:q;
+           Bfc_core.Dqa.mark_empty dqa ~egress ~queue:q))
+  in
+  let t_th =
+    Test.make ~name:"threshold compute"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore
+             (Bfc_core.Threshold.bytes ~hrtt:2000 ~gbps:100.0
+                ~n_active:(1 + (!counter land 31))
+                ~factor:1.0)))
+  in
+  [ t_ft; t_pc; t_dqa; t_th ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "\n################ microbenchmarks: BFC per-packet dataplane ops";
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+    let raw = Benchmark.all cfg [ instance ] test in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instance
+        raw
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "  %-36s %8.1f ns/op\n%!" name est
+        | _ -> Printf.printf "  %-36s (no estimate)\n%!" name)
+      results
+  in
+  List.iter (fun t -> benchmark (Bechamel.Test.make_grouped ~name:"bfc" [ t ])) (micro_tests ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let profile = ref Exp_common.Quick in
+  let targets = ref [] in
+  let micro_only = ref false in
+  let csv_dir = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--profile" :: p :: rest ->
+      profile := Exp_common.profile_of_string p;
+      parse rest
+    | "--csv" :: dir :: rest ->
+      csv_dir := Some dir;
+      parse rest
+    | "--micro" :: rest ->
+      micro_only := true;
+      parse rest
+    | "--list" :: _ ->
+      List.iter print_endline (Experiments.names ());
+      exit 0
+    | name :: rest ->
+      targets := name :: !targets;
+      parse rest
+  in
+  parse args;
+  if !micro_only then run_micro ()
+  else begin
+    let chosen =
+      match List.rev !targets with
+      | [] -> Experiments.all
+      | names ->
+        List.map
+          (fun n ->
+            match Experiments.find n with
+            | Some t -> t
+            | None ->
+              Printf.eprintf "unknown target %s (use --list)\n" n;
+              exit 1)
+          names
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter (Experiments.run_and_print ?csv_dir:!csv_dir !profile) chosen;
+    if List.length chosen > 1 then run_micro ();
+    Printf.printf "\nall done in %.1fs\n" (Unix.gettimeofday () -. t0)
+  end

@@ -1,0 +1,120 @@
+(* Command-line front end for the BFC reproduction.
+
+   bfc_sim list                         -- list experiment targets
+   bfc_sim run fig9 fig13 --profile quick
+   bfc_sim sweep --scheme bfc --load 0.6 --dist fb_hadoop
+                                        -- one ad-hoc Clos run *)
+
+open Cmdliner
+module Experiments = Bfc_sim.Experiments
+module Exp_common = Bfc_sim.Exp_common
+module Scheme = Bfc_sim.Scheme
+module Runner = Bfc_sim.Runner
+module Metrics = Bfc_sim.Metrics
+module Dist = Bfc_workload.Dist
+
+let profile_conv =
+  Arg.conv
+    ( (fun s -> try Ok (Exp_common.profile_of_string s) with Invalid_argument m -> Error (`Msg m)),
+      fun fmt p ->
+        Format.pp_print_string fmt
+          (match p with Exp_common.Smoke -> "smoke" | Quick -> "quick" | Paper -> "paper") )
+
+let profile_arg =
+  Arg.(value
+      & opt profile_conv Exp_common.Quick
+      & info [ "profile" ] ~docv:"PROFILE" ~doc:"Scale: smoke, quick or paper.")
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun t -> Printf.printf "%-10s %s\n" t.Experiments.t_name t.Experiments.t_what)
+      Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List experiment targets") Term.(const run $ const ())
+
+let run_cmd =
+  let targets = Arg.(value & pos_all string [] & info [] ~docv:"TARGET") in
+  let run profile targets =
+    let chosen =
+      match targets with
+      | [] -> Experiments.all
+      | names ->
+        List.map
+          (fun n ->
+            match Experiments.find n with
+            | Some t -> t
+            | None -> failwith (Printf.sprintf "unknown target %s (see `bfc_sim list`)" n))
+          names
+    in
+    List.iter (Experiments.run_and_print profile) chosen
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run experiment targets (all if none given)")
+    Term.(const run $ profile_arg $ targets)
+
+let scheme_conv =
+  let parse = function
+    | "bfc" -> Ok Scheme.bfc
+    | "bfc128" -> Ok (Scheme.bfc_q 128)
+    | "bfc-srf" -> Ok Scheme.bfc_srf
+    | "bfc-credit" -> Ok Scheme.bfc_credit
+    | "bfc-cc" -> Ok (Scheme.Bfc { Scheme.bfc_default with Scheme.delay_cc = true })
+    | "ideal-fq" -> Ok Scheme.Ideal_fq
+    | "ideal-srf" -> Ok Scheme.Ideal_srf
+    | "dctcp" -> Ok Scheme.dctcp
+    | "dctcp-ss" -> Ok (Scheme.Dctcp { slow_start = true })
+    | "dcqcn" -> Ok Scheme.dcqcn
+    | "hpcc" -> Ok Scheme.hpcc
+    | "hpcc-pfc" -> Ok Scheme.hpcc_pfc
+    | "swift" -> Ok Scheme.swift
+    | "timely" -> Ok Scheme.timely
+    | "pfc" -> Ok Scheme.pfc_only
+    | "expresspass" -> Ok Scheme.expresspass
+    | "homa" -> Ok Scheme.homa
+    | "homa-ecmp" -> Ok Scheme.homa_ecmp
+    | s -> Error (`Msg (Printf.sprintf "unknown scheme %s" s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Scheme.name s))
+
+let dist_conv =
+  Arg.conv
+    ( (fun s -> try Ok (Dist.by_name s) with Invalid_argument m -> Error (`Msg m)),
+      fun fmt d -> Format.pp_print_string fmt (Dist.name d) )
+
+let sweep_cmd =
+  let scheme = Arg.(value & opt scheme_conv Scheme.bfc & info [ "scheme" ] ~docv:"SCHEME") in
+  let dist = Arg.(value & opt dist_conv Dist.fb_hadoop & info [ "dist" ] ~docv:"DIST") in
+  let load = Arg.(value & opt float 0.6 & info [ "load" ] ~docv:"LOAD") in
+  let incast = Arg.(value & opt (some int) None & info [ "incast" ] ~docv:"DEGREE") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
+  let run profile scheme dist load incast seed =
+    let s =
+      {
+        (Exp_common.std profile scheme) with
+        Exp_common.sp_dist = dist;
+        sp_load = load;
+        sp_incast =
+          Option.map (fun degree -> { Exp_common.default_incast with Exp_common.degree }) incast;
+        sp_seed = seed;
+      }
+    in
+    let r = Exp_common.run_std s in
+    Printf.printf "scheme=%s dist=%s load=%.2f completed=%d/%d drops=%d\n" (Scheme.name scheme)
+      (Dist.name dist) load (Runner.completed r.Exp_common.env) (Runner.injected r.Exp_common.env)
+      (Runner.total_drops r.Exp_common.env);
+    Exp_common.print_table
+      {
+        Exp_common.title = "FCT slowdown";
+        header = [ "bucket"; "n"; "avg"; "p50"; "p95"; "p99" ];
+        rows = Exp_common.fct_rows r;
+      }
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"One ad-hoc Clos run with chosen scheme/workload/load")
+    Term.(const run $ profile_arg $ scheme $ dist $ load $ incast $ seed)
+
+let () =
+  let doc = "Backpressure Flow Control (NSDI 2022) reproduction" in
+  let info = Cmd.info "bfc_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sweep_cmd ]))

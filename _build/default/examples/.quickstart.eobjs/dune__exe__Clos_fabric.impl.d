@@ -1,0 +1,1 @@
+examples/clos_fabric.ml: Array Bfc_engine Bfc_net Bfc_sim Bfc_workload List Printf Unix

@@ -1,0 +1,1 @@
+examples/deadlock_audit.ml: Array Bfc_core Bfc_engine Bfc_net List Printf String

@@ -1,0 +1,1 @@
+examples/incast_storm.ml: Array Bfc_engine Bfc_net Bfc_sim Bfc_util Bfc_workload List Printf

@@ -1,0 +1,1 @@
+examples/lossless_fabric.ml: Bfc_engine Bfc_sim Bfc_util Bfc_workload List Printf

@@ -1,0 +1,1 @@
+examples/lossless_fabric.mli:

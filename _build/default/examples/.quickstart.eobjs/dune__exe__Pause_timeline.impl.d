@@ -1,0 +1,1 @@
+examples/pause_timeline.ml: Array Bfc_engine Bfc_net Bfc_sim Bfc_workload List Printf

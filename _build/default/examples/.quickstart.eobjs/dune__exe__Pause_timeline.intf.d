@@ -1,0 +1,1 @@
+examples/pause_timeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bfc_core Bfc_engine Bfc_net Bfc_sim List Printf

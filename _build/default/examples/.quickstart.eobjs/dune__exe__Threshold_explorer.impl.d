@@ -1,0 +1,1 @@
+examples/threshold_explorer.ml: Array Bfc_core Bfc_engine Bfc_net Bfc_sim Bfc_switch Bfc_util Bfc_workload List Printf

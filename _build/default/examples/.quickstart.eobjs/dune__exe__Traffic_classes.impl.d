@@ -1,0 +1,1 @@
+examples/traffic_classes.ml: Bfc_net Bfc_sim Bfc_workload List Printf

@@ -1,0 +1,58 @@
+(* A realistic datacenter scenario: the paper's oversubscribed Clos fabric
+   (scaled down 2x) carrying the Google RPC workload at 60% core load,
+   comparing BFC against DCTCP and Ideal-FQ on per-size-bucket FCT
+   slowdowns.
+
+   Run with: dune exec examples/clos_fabric.exe *)
+
+module Time = Bfc_engine.Time
+module Sim = Bfc_engine.Sim
+module Topology = Bfc_net.Topology
+module Dist = Bfc_workload.Dist
+module Traffic = Bfc_workload.Traffic
+module Arrivals = Bfc_workload.Arrivals
+module Scheme = Bfc_sim.Scheme
+module Runner = Bfc_sim.Runner
+module Metrics = Bfc_sim.Metrics
+
+let run_one scheme =
+  let sim = Sim.create () in
+  let spines = 4 and tors = 4 and hosts_per_tor = 8 in
+  let cl = Topology.clos sim ~spines ~tors ~hosts_per_tor ~gbps:100.0 ~prop:(Time.us 1.0) in
+  let env = Runner.setup ~topo:cl.Topology.t ~scheme ~params:Runner.default_params in
+  let n_hosts = Array.length cl.Topology.cl_hosts in
+  let duration = Time.ms 1.0 in
+  let spec =
+    {
+      Traffic.hosts = cl.Topology.cl_hosts;
+      dist = Dist.google;
+      arrivals = Arrivals.lognormal_default;
+      load = 0.6;
+      ref_capacity_gbps = float_of_int (spines * tors) *. 100.0;
+      core_fraction = 1.0 -. (float_of_int (hosts_per_tor - 1) /. float_of_int (n_hosts - 1));
+      matrix = Traffic.Uniform;
+      duration;
+      seed = 1;
+      prio_classes = 1;
+    }
+  in
+  let ids = ref 0 in
+  let flows = Traffic.generate spec ~ids in
+  Runner.inject env flows;
+  let t0 = Unix.gettimeofday () in
+  Runner.run env ~until:duration;
+  Runner.drain env ~budget:(Time.ms 20.0);
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "\n=== %s: %d flows, %d completed, drops %d (wall %.1fs)\n" (Scheme.name scheme)
+    (Runner.injected env) (Runner.completed env) (Runner.total_drops env) wall;
+  List.iter
+    (fun s ->
+      if s.Metrics.count > 0 then
+        Printf.printf "  %-9s n=%5d  avg %6.2f  p99 %7.2f\n" s.Metrics.bucket s.Metrics.count
+          s.Metrics.avg s.Metrics.p99)
+    (Metrics.fct_table env flows)
+
+let () =
+  run_one Bfc_sim.Scheme.bfc;
+  run_one Bfc_sim.Scheme.dctcp;
+  run_one Bfc_sim.Scheme.Ideal_fq

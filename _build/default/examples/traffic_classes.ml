@@ -1,0 +1,37 @@
+(* Traffic classes (App. A.3): queues statically partitioned among four
+   priority classes, dynamic queue assignment within each class, strict
+   priority between classes.
+
+   Run with: dune exec examples/traffic_classes.exe *)
+
+module Flow = Bfc_net.Flow
+module Scheme = Bfc_sim.Scheme
+module Runner = Bfc_sim.Runner
+module Metrics = Bfc_sim.Metrics
+module Exp_common = Bfc_sim.Exp_common
+
+let () =
+  let classes = 4 in
+  let scheme = Scheme.Bfc { Scheme.bfc_default with Scheme.classes } in
+  let r =
+    Exp_common.run_std
+      {
+        (Exp_common.std Exp_common.Quick scheme) with
+        Exp_common.sp_dist = Bfc_workload.Dist.fb_hadoop;
+        sp_classes = classes;
+      }
+  in
+  Printf.printf
+    "BFC with 4 priority classes (8 queues each), FB at 60%% (15%% per class)\n\n";
+  Printf.printf "class  flows  short p99  overall avg  overall p99\n";
+  for c = 0 to classes - 1 do
+    let sub = List.filter (fun f -> f.Flow.prio_class = c) r.Exp_common.flows in
+    let stats = Metrics.fct_overall r.Exp_common.env sub in
+    Printf.printf "  %d    %5d  %9.2f  %11.2f  %11.2f\n" c stats.Metrics.count
+      (Metrics.short_p99 r.Exp_common.env sub)
+      stats.Metrics.avg stats.Metrics.p99
+  done;
+  Printf.printf
+    "\nHigher classes (lower index) keep tighter tails; the lowest class still\n\
+     completes everything — work conservation matters more than queue count\n\
+     for background traffic (App. A.3).\n"

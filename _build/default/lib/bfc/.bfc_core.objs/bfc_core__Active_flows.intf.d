@@ -1,0 +1,1 @@
+lib/bfc/active_flows.mli:

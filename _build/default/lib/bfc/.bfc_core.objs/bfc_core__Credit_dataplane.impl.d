@@ -1,0 +1,1 @@
+lib/bfc/credit_dataplane.ml: Array Bfc_engine Bfc_net Bfc_switch Bfc_util Dqa Flow_table

@@ -1,0 +1,1 @@
+lib/bfc/credit_dataplane.mli: Bfc_switch Dqa

@@ -1,0 +1,1 @@
+lib/bfc/dataplane.ml: Array Bfc_engine Bfc_net Bfc_switch Bfc_util Dqa Flow_table Pause_counter Threshold

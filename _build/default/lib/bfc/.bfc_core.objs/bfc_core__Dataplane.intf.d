@@ -1,0 +1,1 @@
+lib/bfc/dataplane.mli: Bfc_engine Bfc_net Bfc_switch Dqa Flow_table Pause_counter

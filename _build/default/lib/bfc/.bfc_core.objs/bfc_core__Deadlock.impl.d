@@ -1,0 +1,1 @@
+lib/bfc/deadlock.ml: Array Bfc_net Hashtbl List Option

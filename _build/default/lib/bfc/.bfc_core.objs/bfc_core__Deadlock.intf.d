@@ -1,0 +1,1 @@
+lib/bfc/deadlock.mli: Bfc_net

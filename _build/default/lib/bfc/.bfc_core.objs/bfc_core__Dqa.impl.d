@@ -1,0 +1,1 @@
+lib/bfc/dqa.ml: Array Bfc_util

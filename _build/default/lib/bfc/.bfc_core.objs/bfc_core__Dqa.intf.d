@@ -1,0 +1,1 @@
+lib/bfc/dqa.mli: Bfc_util

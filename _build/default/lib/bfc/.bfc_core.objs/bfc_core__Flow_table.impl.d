@@ -1,0 +1,1 @@
+lib/bfc/flow_table.ml: Array Bfc_engine

@@ -1,0 +1,1 @@
+lib/bfc/flow_table.mli: Bfc_engine

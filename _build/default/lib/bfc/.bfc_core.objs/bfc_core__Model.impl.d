@@ -1,0 +1,1 @@
+lib/bfc/model.ml:

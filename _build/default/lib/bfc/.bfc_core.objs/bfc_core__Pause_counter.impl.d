@@ -1,0 +1,1 @@
+lib/bfc/pause_counter.ml: Array Printf

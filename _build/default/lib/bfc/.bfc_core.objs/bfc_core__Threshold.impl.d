@@ -1,0 +1,1 @@
+lib/bfc/threshold.ml: Array

@@ -1,0 +1,1 @@
+lib/bfc/threshold.mli: Bfc_engine

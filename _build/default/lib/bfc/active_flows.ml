@@ -1,0 +1,23 @@
+let check rho = if rho < 0.0 || rho >= 1.0 then invalid_arg "Active_flows: need 0 <= rho < 1"
+
+let mean ~rho =
+  check rho;
+  rho /. (1.0 -. rho)
+
+let pmf ~rho n =
+  check rho;
+  if n < 0 then 0.0 else (1.0 -. rho) *. (rho ** float_of_int n)
+
+let cdf ~rho n =
+  check rho;
+  if n < 0 then 0.0 else 1.0 -. (rho ** float_of_int (n + 1))
+
+let quantile ~rho ~p =
+  check rho;
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Active_flows.quantile";
+  if rho = 0.0 then 0
+  else begin
+    (* smallest n with 1 - rho^(n+1) >= p  <=>  n >= log(1-p)/log(rho) - 1 *)
+    let n = Float.ceil ((log (1.0 -. p) /. log rho) -. 1.0) in
+    max 0 (int_of_float n)
+  end

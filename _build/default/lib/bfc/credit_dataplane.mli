@@ -1,0 +1,65 @@
+(** Credit-based (lossless) BFC — the §5 extension the paper leaves to
+    future work ("Using credits [11,41] could address this at the cost of
+    added complexity").
+
+    Queue assignment is BFC's (flow table + dynamic queue assignment), but
+    instead of reactive pause/resume, transmission is gated by hop-by-hop
+    credits in the style of Kung & Morris: every egress queue holds a byte
+    balance for its downstream link; the downstream returns a credit as
+    each packet departs its own buffer. A packet is transmitted only when
+    the balance covers it, so — provided the downstream reserves
+    [credit_bytes] of buffer per ⟨ingress, upstream queue⟩ — no packet
+    ever arrives to a full buffer: losslessness by construction, at the
+    documented cost of large reserved buffers (this is exactly why the
+    paper's main design avoids credits; see §2.3 "ATM schemes require
+    per-connection state and large buffers").
+
+    Host-facing egresses are uncredited (receiver NICs always drain). *)
+
+type config = {
+  assignment : Dqa.policy;
+  table_mult : int;
+  sticky_hrtt_mult : float;
+  credit_bytes : int;
+      (** initial balance per queue; one 1-hop BDP sustains line rate *)
+  max_upstream_q : int;
+  seed : int;
+}
+
+val default_config : config
+
+type t
+
+val attach : Bfc_switch.Switch.t -> config -> t
+
+val switch : t -> Bfc_switch.Switch.t
+
+(** Current sending balance of an egress queue (bytes). *)
+val balance : t -> egress:int -> queue:int -> int
+
+(** Buffer bytes this switch must reserve to honour the credits it grants:
+    ingress-ports x max_upstream_q x credit_bytes. *)
+val required_buffer : t -> int
+
+(** Credits granted (messages sent upstream) — diagnostics. *)
+val credits_sent : t -> int
+
+(** The NIC-side balance handler: shared logic for gating a sender queue
+    on Hop_credit arrivals. Exposed for {!Bfc_transport.Nic}. *)
+module Balance : sig
+  type b
+
+  (** [create ~queues ~initial] — per-queue balances. *)
+  val create : queues:int -> initial:int -> b
+
+  (** Packet of [bytes] departed queue [queue]: consume credit; returns
+      whether the queue should now be blocked ([true] = insufficient for
+      [next] bytes, where [next] = head-of-queue size or 0 if empty). *)
+  val consume : b -> queue:int -> bytes:int -> next:int -> bool
+
+  (** Credit returned. Returns whether the queue may be unblocked for a
+      head packet of [next] bytes. *)
+  val replenish : b -> queue:int -> bytes:int -> next:int -> bool
+
+  val get : b -> queue:int -> int
+end

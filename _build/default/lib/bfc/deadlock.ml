@@ -1,0 +1,168 @@
+module Topology = Bfc_net.Topology
+module Port = Bfc_net.Port
+module Node = Bfc_net.Node
+
+type graph = {
+  n : int;
+  adj : int list array;
+  seen : (int * int, unit) Hashtbl.t;
+  mutable edges : int;
+}
+
+let create ~n = { n; adj = Array.make n []; seen = Hashtbl.create 256; edges = 0 }
+
+let add_edge g ~src ~dst =
+  if src < 0 || src >= g.n || dst < 0 || dst >= g.n then invalid_arg "Deadlock.add_edge";
+  if not (Hashtbl.mem g.seen (src, dst)) then begin
+    Hashtbl.add g.seen (src, dst) ();
+    g.adj.(src) <- dst :: g.adj.(src);
+    g.edges <- g.edges + 1
+  end
+
+let n_edges g = g.edges
+
+(* The egress port at the upstream device that feeds [sw]'s ingress
+   [in_port]: the paired reverse direction of the same link. *)
+let upstream_egress_gid topo ~sw ~in_port =
+  let p = Topology.port topo sw in_port in
+  let u = (Port.peer p).Node.id in
+  Port.gid (Topology.port topo u (Port.peer_port p))
+
+let build topo =
+  let g = create ~n:(Topology.total_ports topo) in
+  let nodes = Topology.nodes topo in
+  let hosts = Topology.hosts topo in
+  Array.iter
+    (fun nd ->
+      if nd.Node.kind = Node.Switch then begin
+        let s = nd.Node.id in
+        let ports = Topology.ports topo s in
+        Array.iteri
+          (fun in_port p ->
+            let u = (Port.peer p).Node.id in
+            if nodes.(u).Node.kind = Node.Switch then begin
+              let a_gid = upstream_egress_gid topo ~sw:s ~in_port in
+              let u_to_s_port = Port.peer_port p in
+              Array.iter
+                (fun dst ->
+                  if dst <> s && dst <> u then begin
+                    let u_cands = Topology.candidates topo ~node:u ~dst in
+                    let via_s = Array.exists (fun c -> c = u_to_s_port) u_cands in
+                    if via_s then
+                      Array.iter
+                        (fun j ->
+                          let b_gid = Port.gid (Topology.port topo s j) in
+                          add_edge g ~src:b_gid ~dst:a_gid)
+                        (Topology.candidates topo ~node:s ~dst)
+                  end)
+                hosts
+            end)
+          ports
+      end)
+    nodes;
+  g
+
+(* Iterative DFS cycle detection with colors. *)
+let find_cycle g =
+  let white = 0 and grey = 1 and black = 2 in
+  let color = Array.make g.n white in
+  let parent = Array.make g.n (-1) in
+  let cycle = ref None in
+  let rec dfs u =
+    color.(u) <- grey;
+    List.iter
+      (fun v ->
+        if !cycle = None then begin
+          if color.(v) = grey then begin
+            (* reconstruct u -> ... -> v *)
+            let rec collect x acc = if x = v then v :: acc else collect parent.(x) (x :: acc) in
+            cycle := Some (collect u [])
+          end
+          else if color.(v) = white then begin
+            parent.(v) <- u;
+            dfs v
+          end
+        end)
+      g.adj.(u);
+    if color.(u) = grey then color.(u) <- black
+  in
+  let i = ref 0 in
+  while !cycle = None && !i < g.n do
+    if color.(!i) = white then dfs !i;
+    incr i
+  done;
+  !cycle
+
+let has_cycle g = find_cycle g <> None
+
+(* Tarjan SCC, iterative enough for our sizes (recursion depth bounded by
+   port count, a few hundred). *)
+let sccs g =
+  let index = Array.make g.n (-1) in
+  let low = Array.make g.n 0 in
+  let on_stack = Array.make g.n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comp = Array.make g.n (-1) in
+  let n_comp = ref 0 in
+  let rec strong u =
+    index.(u) <- !counter;
+    low.(u) <- !counter;
+    incr counter;
+    stack := u :: !stack;
+    on_stack.(u) <- true;
+    List.iter
+      (fun v ->
+        if index.(v) < 0 then begin
+          strong v;
+          if low.(v) < low.(u) then low.(u) <- low.(v)
+        end
+        else if on_stack.(v) && index.(v) < low.(u) then low.(u) <- index.(v))
+      g.adj.(u);
+    if low.(u) = index.(u) then begin
+      let c = !n_comp in
+      incr n_comp;
+      let rec popall () =
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+          stack := rest;
+          on_stack.(v) <- false;
+          comp.(v) <- c;
+          if v <> u then popall ()
+      in
+      popall ()
+    end
+  in
+  for u = 0 to g.n - 1 do
+    if index.(u) < 0 then strong u
+  done;
+  comp
+
+let dangerous_edges g =
+  let comp = sccs g in
+  (* An edge is dangerous iff both ends share an SCC and that SCC has a
+     cycle (size > 1, or a self loop). *)
+  let comp_size = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      Hashtbl.replace comp_size c (1 + Option.value ~default:0 (Hashtbl.find_opt comp_size c)))
+    comp;
+  let out = ref [] in
+  Array.iteri
+    (fun u vs ->
+      List.iter
+        (fun v ->
+          if comp.(u) = comp.(v) && (u = v || Hashtbl.find comp_size comp.(u) > 1) then
+            out := (u, v) :: !out)
+        vs)
+    g.adj;
+  !out
+
+let make_filter topo g ~sw =
+  let dangerous = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace dangerous e ()) (dangerous_edges g);
+  fun ~in_port ~egress ->
+    let a_gid = upstream_egress_gid topo ~sw ~in_port in
+    let b_gid = Port.gid (Topology.port topo sw egress) in
+    not (Hashtbl.mem dangerous (b_gid, a_gid))

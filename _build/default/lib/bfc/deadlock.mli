@@ -1,0 +1,40 @@
+(** Deadlock analysis for backpressure (App. B).
+
+    Nodes of the backpressure graph are egress ports (identified by their
+    global port id); there is a directed edge B -> A when a packet can leave
+    egress A, traverse one hop, and leave the next switch via egress B,
+    triggering backpressure from B onto A. BFC is deadlock-free iff this
+    graph is acyclic (Theorem 1); for shortest-path routing on Clos
+    topologies it is, and for topologies or detour routes that create
+    cyclic buffer dependencies we compute the match-action elision table
+    that skips backpressure on the dangerous edges. *)
+
+type graph
+
+(** Build from a topology's shortest-path ECMP routing: for every
+    destination, every switch-to-switch handoff contributes an edge.
+    Host egress ports appear as sinks (NICs generate no backpressure). *)
+val build : Bfc_net.Topology.t -> graph
+
+(** Empty graph over [n] port ids, for synthetic tests. *)
+val create : n:int -> graph
+
+(** [add_edge g ~src ~dst] — src -> dst (src's congestion pauses dst). *)
+val add_edge : graph -> src:int -> dst:int -> unit
+
+val n_edges : graph -> int
+
+val has_cycle : graph -> bool
+
+(** A witness cycle as a list of port gids, if any. *)
+val find_cycle : graph -> int list option
+
+(** Edges inside strongly connected components (every edge that can
+    participate in a cycle). Removing them makes the graph acyclic. *)
+val dangerous_edges : graph -> (int * int) list
+
+(** The match-action filter of App. B: at the switch owning [egress],
+    should a packet arriving on [in_port] and leaving via [egress] perform
+    backpressure operations? [false] exactly for dangerous edges. *)
+val make_filter :
+  Bfc_net.Topology.t -> graph -> sw:int -> (in_port:int -> egress:int -> bool)

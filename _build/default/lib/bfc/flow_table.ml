@@ -1,0 +1,21 @@
+type entry = { mutable q : int; mutable size : int; mutable last : Bfc_engine.Time.t }
+
+type t = { slots : int; tables : entry array array }
+
+let create ~egresses ~queues_per_port ~mult =
+  if egresses < 0 || queues_per_port <= 0 || mult <= 0 then invalid_arg "Flow_table.create";
+  let slots = queues_per_port * mult in
+  {
+    slots;
+    tables =
+      Array.init egresses (fun _ -> Array.init slots (fun _ -> { q = -1; size = 0; last = min_int }));
+  }
+
+let slots_per_port t = t.slots
+
+let total_slots t = Array.length t.tables * t.slots
+
+let entry t ~egress ~fid_hash = t.tables.(egress).(fid_hash mod t.slots)
+
+let occupied t ~egress =
+  Array.fold_left (fun acc e -> if e.size > 0 then acc + 1 else acc) 0 t.tables.(egress)

@@ -1,0 +1,30 @@
+(** BFC's flow table (§3.3.1).
+
+    An array indexed by ⟨egress port, hash(FID)⟩ storing, per entry, the
+    physical queue assignment, the number of packets in the switch from
+    flows mapping to this entry, and the last-touch timestamp used for
+    sticky reassignment. Sized as a multiple of the number of queues
+    (100x in the paper: < 1% index collisions when flows <= queues). *)
+
+type entry = {
+  mutable q : int; (** physical queue assignment; -1 = never assigned *)
+  mutable size : int; (** packets from this entry currently in the switch *)
+  mutable last : Bfc_engine.Time.t; (** last enqueue/dequeue touch *)
+}
+
+type t
+
+(** [create ~egresses ~queues_per_port ~mult] — [mult x queues_per_port]
+    slots per egress. *)
+val create : egresses:int -> queues_per_port:int -> mult:int -> t
+
+val slots_per_port : t -> int
+
+(** Total entries (all egresses). *)
+val total_slots : t -> int
+
+(** [entry t ~egress ~fid_hash] — the slot this flow maps to. *)
+val entry : t -> egress:int -> fid_hash:int -> entry
+
+(** Entries with [size > 0] at an egress (diagnostics). *)
+val occupied : t -> egress:int -> int

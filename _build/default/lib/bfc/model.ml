@@ -1,0 +1,27 @@
+let check ~x ~th_ratio =
+  if not (x > 1.0) then invalid_arg "Model: x must exceed 1";
+  if th_ratio < 0.0 then invalid_arg "Model: th_ratio must be non-negative"
+
+let phase_durations ~x ~th_ratio =
+  check ~x ~th_ratio;
+  (* Time in HRTT units; rates in units of mu_f. *)
+  let t_p1 = (th_ratio /. (x -. 1.0)) +. 1.0 in
+  let t_p2 = th_ratio +. (x -. 1.0) in
+  let t_p3 = 1.0 in
+  (t_p1, t_p2, t_p3)
+
+let ef ~x ~th_ratio =
+  check ~x ~th_ratio;
+  (x -. 1.0) /. ((th_ratio *. x) +. (x *. x) -. 1.0)
+
+let worst_x ~th_ratio =
+  if th_ratio < 0.0 then invalid_arg "Model.worst_x";
+  sqrt th_ratio +. 1.0
+
+let max_ef ~th_ratio =
+  let s = sqrt th_ratio +. 1.0 in
+  1.0 /. ((s *. s) +. 1.0)
+
+let peak_queue ~x ~th_ratio =
+  check ~x ~th_ratio;
+  th_ratio +. (x -. 1.0)

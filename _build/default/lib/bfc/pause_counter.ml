@@ -1,0 +1,41 @@
+type edge = Went_up | Went_down | No_change
+
+type t = { counters : int array array; max_q : int }
+
+let create ~ingresses ~max_upstream_q =
+  if ingresses < 0 || max_upstream_q <= 0 then invalid_arg "Pause_counter.create";
+  { counters = Array.init ingresses (fun _ -> Array.make max_upstream_q 0); max_q = max_upstream_q }
+
+let check t upstream_q =
+  if upstream_q < 0 || upstream_q >= t.max_q then
+    invalid_arg (Printf.sprintf "Pause_counter: upstream queue %d out of range" upstream_q)
+
+let incr t ~ingress ~upstream_q =
+  check t upstream_q;
+  let c = t.counters.(ingress) in
+  c.(upstream_q) <- c.(upstream_q) + 1;
+  if c.(upstream_q) = 1 then Went_up else No_change
+
+let decr t ~ingress ~upstream_q =
+  check t upstream_q;
+  let c = t.counters.(ingress) in
+  if c.(upstream_q) <= 0 then invalid_arg "Pause_counter.decr: counter already zero";
+  c.(upstream_q) <- c.(upstream_q) - 1;
+  if c.(upstream_q) = 0 then Went_down else No_change
+
+let count t ~ingress ~upstream_q =
+  check t upstream_q;
+  t.counters.(ingress).(upstream_q)
+
+let paused t ~ingress ~upstream_q = count t ~ingress ~upstream_q > 0
+
+let paused_queues t ~ingress =
+  let c = t.counters.(ingress) in
+  let acc = ref [] in
+  for q = Array.length c - 1 downto 0 do
+    if c.(q) > 0 then acc := q :: !acc
+  done;
+  !acc
+
+let total t =
+  Array.fold_left (fun a row -> Array.fold_left ( + ) a row) 0 t.counters

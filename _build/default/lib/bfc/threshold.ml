@@ -1,0 +1,18 @@
+let bytes ~hrtt ~gbps ~n_active ~factor =
+  let n = max 1 n_active in
+  (* gbps Gbit/s = gbps/8 bytes per ns *)
+  let bdp = float_of_int hrtt *. gbps /. 8.0 in
+  int_of_float (factor *. bdp /. float_of_int n)
+
+type table = { values : int array; max_active : int }
+
+let table ~hrtt ~gbps ~max_active ~factor =
+  if max_active <= 0 then invalid_arg "Threshold.table";
+  {
+    values = Array.init (max_active + 1) (fun n -> bytes ~hrtt ~gbps ~n_active:(max 1 n) ~factor);
+    max_active;
+  }
+
+let lookup t ~n_active =
+  let n = if n_active < 1 then 1 else if n_active > t.max_active then t.max_active else n_active in
+  t.values.(n)

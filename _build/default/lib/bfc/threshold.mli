@@ -1,0 +1,19 @@
+(** The pause threshold Th (§3.3.2): one-hop BDP at the queue's drain rate.
+
+    Th = HRTT x (µ / N_active), with µ the egress port capacity and
+    N_active the number of active (non-empty, unpaused) queues at that
+    egress. In hardware this is a pre-configured match-action table keyed
+    by ⟨N_active, µ⟩; here we expose both the direct computation and a
+    quantized table to mirror the hardware. *)
+
+(** [bytes ~hrtt ~gbps ~n_active ~factor] — threshold in bytes.
+    [factor] scales Th (1.0 = the paper's setting). *)
+val bytes : hrtt:Bfc_engine.Time.t -> gbps:float -> n_active:int -> factor:float -> int
+
+(** A precomputed table over N_active in [1, max_active] (clamping above),
+    as the hardware match-action table would hold. *)
+type table
+
+val table : hrtt:Bfc_engine.Time.t -> gbps:float -> max_active:int -> factor:float -> table
+
+val lookup : table -> n_active:int -> int

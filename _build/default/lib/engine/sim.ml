@@ -1,0 +1,72 @@
+type handle = { mutable alive : bool; mutable fired : bool; fn : unit -> unit }
+
+type t = { mutable clock : Time.t; heap : handle Bfc_util.Heap.t }
+
+type ticker = { mutable running : bool }
+
+let create () = { clock = 0; heap = Bfc_util.Heap.create () }
+
+let now t = t.clock
+
+let at t time fn =
+  if time < t.clock then
+    invalid_arg (Printf.sprintf "Sim.at: scheduling in the past (%d < %d)" time t.clock);
+  let h = { alive = true; fired = false; fn } in
+  Bfc_util.Heap.push t.heap ~priority:time h;
+  h
+
+let after t delay fn = at t (t.clock + max 0 delay) fn
+
+let cancel h = if not h.fired then h.alive <- false
+
+let pending h = h.alive && not h.fired
+
+let every t ~period fn =
+  let tick = { running = true } in
+  let rec arm () =
+    ignore
+      (after t period (fun () ->
+           if tick.running then begin
+             fn ();
+             arm ()
+           end))
+  in
+  arm ();
+  tick
+
+let stop_ticker tick = tick.running <- false
+
+let step t =
+  match Bfc_util.Heap.pop t.heap with
+  | None -> false
+  | Some (time, h) ->
+    t.clock <- time;
+    if h.alive then begin
+      h.fired <- true;
+      h.fn ();
+      true
+    end
+    else false
+
+let run t ~until =
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Bfc_util.Heap.min_priority t.heap with
+    | Some time when time <= until -> if step t then incr executed
+    | Some _ | None -> continue := false
+  done;
+  if t.clock < until then t.clock <- until;
+  !executed
+
+let safety_cap = 1 lsl 30
+
+let run_until_idle t =
+  let executed = ref 0 in
+  while not (Bfc_util.Heap.is_empty t.heap) do
+    if step t then incr executed;
+    if !executed > safety_cap then failwith "Sim.run_until_idle: event cap exceeded"
+  done;
+  !executed
+
+let pending_events t = Bfc_util.Heap.length t.heap

@@ -1,0 +1,50 @@
+(** The discrete-event simulation core.
+
+    A [Sim.t] owns the virtual clock and the pending-event heap. Components
+    schedule closures at absolute or relative times; [run] executes events in
+    time order (FIFO among simultaneous events) until the horizon or until
+    the event set drains. *)
+
+type t
+
+type handle
+(** A scheduled event that can be cancelled. Cancellation is O(1): the event
+    stays in the heap but becomes a no-op. *)
+
+val create : unit -> t
+
+(** Current virtual time. *)
+val now : t -> Time.t
+
+(** [at t time f] runs [f] at absolute [time] (>= now). *)
+val at : t -> Time.t -> (unit -> unit) -> handle
+
+(** [after t delay f] runs [f] at [now + delay]. *)
+val after : t -> Time.t -> (unit -> unit) -> handle
+
+val cancel : handle -> unit
+
+(** Is the event still pending (not run, not cancelled)? *)
+val pending : handle -> bool
+
+(** [every t ~period f] runs [f] every [period] starting at [now + period],
+    until [stop] is called on the returned controller. *)
+type ticker
+
+val every : t -> period:Time.t -> (unit -> unit) -> ticker
+
+val stop_ticker : ticker -> unit
+
+(** [run t ~until] processes events until the clock passes [until] or the
+    heap drains. Returns the number of events executed. The clock is left at
+    [until] (or at the last event time if the heap drained first). *)
+val run : t -> until:Time.t -> int
+
+(** [run_until_idle t] processes everything; intended for closed workloads
+    with a natural end. Returns events executed.
+    Raises [Failure] after a safety cap of 2^30 events. *)
+val run_until_idle : t -> int
+
+(** Number of events still in the heap (including cancelled tombstones);
+    for diagnostics only. *)
+val pending_events : t -> int

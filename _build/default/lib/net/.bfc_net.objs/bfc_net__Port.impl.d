@@ -1,0 +1,1 @@
+lib/net/port.ml: Bfc_engine Node Packet

@@ -1,0 +1,1 @@
+lib/net/port.mli: Bfc_engine Node Packet

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Bfc_engine Bfc_util Float Flow Int64 List Node Packet Port Printf Queue Seq

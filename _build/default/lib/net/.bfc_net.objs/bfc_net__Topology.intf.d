@@ -1,0 +1,1 @@
+lib/net/topology.mli: Bfc_engine Bfc_util Flow Node Port

@@ -1,0 +1,15 @@
+type kind = Host | Switch
+
+type t = {
+  id : int;
+  kind : kind;
+  name : string;
+  mutable handler : in_port:int -> Packet.t -> unit;
+}
+
+let unattached name ~in_port:_ _ =
+  failwith (Printf.sprintf "Node %s: packet delivered before a device was attached" name)
+
+let make ~id ~kind ~name = { id; kind; name; handler = unattached name }
+
+let deliver t ~in_port pkt = t.handler ~in_port pkt

@@ -1,0 +1,19 @@
+(** A node in the topology graph: a host or a switch.
+
+    The concrete device (switch dataplane, host transport) is attached after
+    graph construction by setting [handler]; links deliver packets by
+    calling it. *)
+
+type kind = Host | Switch
+
+type t = {
+  id : int;
+  kind : kind;
+  name : string;
+  mutable handler : in_port:int -> Packet.t -> unit;
+}
+
+val make : id:int -> kind:kind -> name:string -> t
+
+(** [deliver t ~in_port pkt] invokes the attached handler. *)
+val deliver : t -> in_port:int -> Packet.t -> unit

@@ -1,0 +1,101 @@
+type kind =
+  | Data
+  | Ack
+  | Nack
+  | Credit
+  | Credit_req
+  | Grant
+  | Pause
+  | Resume
+  | Pause_bitmap
+  | Hop_credit
+  | Pfc
+  | Cnp
+
+type int_hop = {
+  mutable h_ts : Bfc_engine.Time.t;
+  mutable h_tx_bytes : int;
+  mutable h_qlen : int;
+  mutable h_gbps : float;
+  mutable h_link : int;
+}
+
+type t = {
+  uid : int;
+  kind : kind;
+  flow : Flow.t option;
+  src : int;
+  dst : int;
+  mutable size : int;
+  mutable payload : int;
+  mutable seq : int;
+  mutable ecn : bool;
+  mutable ecn_echo : bool;
+  mutable prio : int;
+  mutable remaining : int;
+  mutable upstream_q : int;
+  mutable bp_in_port : int;
+  mutable bp_upq : int;
+  mutable bp_counted : bool;
+  mutable bp_sampled : bool;
+  mutable int_hops : int_hop list;
+  mutable sent_at : Bfc_engine.Time.t;
+  mutable enq_at : Bfc_engine.Time.t;
+  mutable q_delay : int;
+  mutable hop_cnt : int;
+  mutable ctrl_a : int;
+  mutable ctrl_b : int;
+  mutable ints : int array;
+  mutable path_hint : int;
+}
+
+let header_bytes = 48
+
+let ack_bytes = 64
+
+let ctrl_bytes = 64
+
+let next_uid = ref 0
+
+let make kind ?flow ~src ~dst ~size ?(payload = 0) ?(seq = 0) ?(prio = 0) () =
+  incr next_uid;
+  {
+    uid = !next_uid;
+    kind;
+    flow;
+    src;
+    dst;
+    size;
+    payload;
+    seq;
+    ecn = false;
+    ecn_echo = false;
+    prio;
+    remaining = 0;
+    upstream_q = 0;
+    bp_in_port = -1;
+    bp_upq = -1;
+    bp_counted = false;
+    bp_sampled = true;
+    int_hops = [];
+    sent_at = 0;
+    enq_at = 0;
+    q_delay = 0;
+    hop_cnt = 0;
+    ctrl_a = 0;
+    ctrl_b = 0;
+    ints = [||];
+    path_hint = -1;
+  }
+
+let data ~flow ~seq ~payload ?(extra_header = 0) () =
+  make Data ~flow ~src:flow.Flow.src ~dst:flow.Flow.dst
+    ~size:(payload + header_bytes + extra_header)
+    ~payload ~seq ~prio:flow.prio_class ()
+
+let is_control t =
+  match t.kind with
+  | Pause | Resume | Pause_bitmap | Hop_credit | Pfc | Cnp -> true
+  | Data | Ack | Nack | Credit | Credit_req | Grant -> false
+
+let flow_id t = match t.flow with Some f -> f.Flow.id | None -> -1

@@ -1,0 +1,88 @@
+(** Packets: the unit of transmission, queueing and flow control.
+
+    One flat mutable record covers data, acknowledgement and control
+    packets; protocols use the fields they need (mirroring how real headers
+    stack optional fields). Per-hop BFC scratch fields ([bp_*]) are
+    overwritten at every switch, exactly like metadata in a switch
+    pipeline. *)
+
+type kind =
+  | Data
+  | Ack  (** cumulative ack; [seq] = next expected byte *)
+  | Nack  (** Go-Back-N: receiver asks for retransmit from [seq] *)
+  | Credit  (** ExpressPass credit *)
+  | Credit_req  (** ExpressPass: sender asks the receiver to start crediting *)
+  | Grant  (** Homa grant; [ctrl_a] = grant offset, [ctrl_b] = priority *)
+  | Pause  (** BFC pause; [ctrl_a] = upstream queue id *)
+  | Resume  (** BFC resume; [ctrl_a] = upstream queue id *)
+  | Pause_bitmap  (** BFC periodic refresh; [ints] = paused queue ids *)
+  | Hop_credit
+      (** hop-by-hop credit return (lossless BFC variant, §5):
+          [ctrl_a] = upstream queue id, [ctrl_b] = bytes returned *)
+  | Pfc  (** PFC pause/resume; [ctrl_a] = class, [ctrl_b] = 1 pause / 0 resume *)
+  | Cnp  (** DCQCN congestion notification *)
+
+type int_hop = {
+  mutable h_ts : Bfc_engine.Time.t;
+  mutable h_tx_bytes : int;
+  mutable h_qlen : int;
+  mutable h_gbps : float;
+  mutable h_link : int; (** global port id, for per-link delay accounting *)
+}
+
+type t = {
+  uid : int;
+  kind : kind;
+  flow : Flow.t option;
+  src : int;
+  dst : int;
+  mutable size : int; (** bytes on the wire *)
+  mutable payload : int; (** data bytes carried (<= size) *)
+  mutable seq : int;
+  mutable ecn : bool;
+  mutable ecn_echo : bool;
+  mutable prio : int; (** scheduling priority class; 0 = highest *)
+  mutable remaining : int; (** sender's remaining bytes (SRF header field) *)
+  mutable upstream_q : int; (** BFC: sender-side queue at the upstream device *)
+  mutable bp_in_port : int;
+  mutable bp_upq : int;
+  mutable bp_counted : bool;
+  mutable bp_sampled : bool; (** recirculation-sampling variant: bookkept? *)
+  mutable int_hops : int_hop list; (** HPCC INT stack, most recent hop first *)
+  mutable sent_at : Bfc_engine.Time.t;
+  mutable enq_at : Bfc_engine.Time.t;
+  mutable q_delay : int; (** accumulated queuing delay over all hops (ns) *)
+  mutable hop_cnt : int;
+  mutable ctrl_a : int;
+  mutable ctrl_b : int;
+  mutable ints : int array; (** bitmap payloads etc. *)
+  mutable path_hint : int; (** pinned spine for spraying; -1 = ECMP *)
+}
+
+val header_bytes : int
+
+val ack_bytes : int
+
+val ctrl_bytes : int
+
+(** [make kind ~flow ~src ~dst ~size ...] — fresh packet with unique uid. *)
+val make :
+  kind ->
+  ?flow:Flow.t ->
+  src:int ->
+  dst:int ->
+  size:int ->
+  ?payload:int ->
+  ?seq:int ->
+  ?prio:int ->
+  unit ->
+  t
+
+(** [data ~flow ~seq ~payload ~extra_header] — a data packet of the flow;
+    wire size = payload + header + extra_header. *)
+val data : flow:Flow.t -> seq:int -> payload:int -> ?extra_header:int -> unit -> t
+
+val is_control : t -> bool
+
+(** Flow id or -1. *)
+val flow_id : t -> int

@@ -1,0 +1,71 @@
+type t = {
+  sim : Bfc_engine.Sim.t;
+  gid : int;
+  gbps : float;
+  prop : Bfc_engine.Time.t;
+  peer : Node.t;
+  peer_port : int;
+  mutable busy : bool;
+  mutable tx_bytes : int;
+  mutable on_idle : unit -> unit;
+  mutable fault : Packet.t -> bool; (* fault injection: drop on the wire? *)
+  mutable dropped : int;
+}
+
+let create ~sim ~gid ~gbps ~prop ~peer ~peer_port =
+  {
+    sim;
+    gid;
+    gbps;
+    prop;
+    peer;
+    peer_port;
+    busy = false;
+    tx_bytes = 0;
+    on_idle = ignore;
+    fault = (fun _ -> false);
+    dropped = 0;
+  }
+
+let gid t = t.gid
+
+let gbps t = t.gbps
+
+let prop t = t.prop
+
+let peer t = t.peer
+
+let peer_port t = t.peer_port
+
+let busy t = t.busy
+
+let tx_bytes t = t.tx_bytes
+
+let set_on_idle t f = t.on_idle <- f
+
+let send t pkt =
+  if t.busy then failwith "Port.send: transmitter busy";
+  t.busy <- true;
+  let ser = Bfc_engine.Time.tx_time ~gbps:t.gbps ~bytes:pkt.Packet.size in
+  t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
+  ignore
+    (Bfc_engine.Sim.after t.sim ser (fun () ->
+         t.busy <- false;
+         t.on_idle ()));
+  if t.fault pkt then t.dropped <- t.dropped + 1
+  else
+    ignore
+      (Bfc_engine.Sim.after t.sim (ser + t.prop) (fun () ->
+           Node.deliver t.peer ~in_port:t.peer_port pkt))
+
+let send_ctrl t pkt =
+  if t.fault pkt then t.dropped <- t.dropped + 1
+  else
+    ignore
+      (Bfc_engine.Sim.after t.sim t.prop (fun () -> Node.deliver t.peer ~in_port:t.peer_port pkt))
+
+let set_fault t f = t.fault <- f
+
+let faults_injected t = t.dropped
+
+let hop_rtt t = 2 * t.prop

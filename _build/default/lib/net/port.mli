@@ -1,0 +1,61 @@
+(** A directed egress port: one end of a link plus its transmitter.
+
+    The owning device drives the port: it may [send] only when the port is
+    idle; completion of serialization triggers [on_idle], at which point the
+    device's scheduler picks the next packet. Delivery at the peer happens
+    one propagation delay after serialization finishes (store-and-forward).
+
+    Control packets ([send_ctrl]) model the dedicated high-priority control
+    queue of the paper: they are delivered after the propagation delay
+    without occupying the data transmitter (their bandwidth is negligible:
+    64 B at 100 Gbps is 5 ns). *)
+
+type t
+
+val create :
+  sim:Bfc_engine.Sim.t ->
+  gid:int ->
+  gbps:float ->
+  prop:Bfc_engine.Time.t ->
+  peer:Node.t ->
+  peer_port:int ->
+  t
+
+(** Global port id (unique across the topology), used by metrics and INT. *)
+val gid : t -> int
+
+val gbps : t -> float
+
+val prop : t -> Bfc_engine.Time.t
+
+val peer : t -> Node.t
+
+val peer_port : t -> int
+
+val busy : t -> bool
+
+(** Cumulative bytes serialized on this port (data path only). *)
+val tx_bytes : t -> int
+
+(** [send t pkt] starts serializing [pkt]. Raises if the port is busy. *)
+val send : t -> Packet.t -> unit
+
+(** Deliver a control packet after the propagation delay, bypassing the
+    transmitter. *)
+val send_ctrl : t -> Packet.t -> unit
+
+(** The device's "transmitter idle" callback; fired when serialization of
+    the current packet completes. *)
+val set_on_idle : t -> (unit -> unit) -> unit
+
+(** Fault injection: packets for which the predicate returns true are
+    silently lost on the wire (fiber corruption, §3.3 "Idempotent state";
+    the periodic pause bitmap exists to survive exactly this). *)
+val set_fault : t -> (Packet.t -> bool) -> unit
+
+(** Packets lost to injected faults so far. *)
+val faults_injected : t -> int
+
+(** One-hop RTT to the peer: 2 x propagation (switch pipeline latency is
+    folded into the propagation figure, as in the paper's simulations). *)
+val hop_rtt : t -> Bfc_engine.Time.t

@@ -1,0 +1,1 @@
+lib/sim/exp_ablation.ml: Array Bfc_core Bfc_engine Bfc_workload Exp_common List Metrics Printf Runner Scheme

@@ -1,0 +1,1 @@
+lib/sim/exp_appendix.ml: Array Bfc_core Bfc_engine Bfc_net Bfc_switch Bfc_util Bfc_workload Exp_common List Metrics Printf Runner Scheme

@@ -1,0 +1,1 @@
+lib/sim/exp_common.ml: Array Bfc_engine Bfc_net Bfc_util Bfc_workload List Metrics Printf Runner Scheme String

@@ -1,0 +1,1 @@
+lib/sim/exp_common.mli: Bfc_engine Bfc_net Bfc_util Bfc_workload Runner Scheme

@@ -1,0 +1,1 @@
+lib/sim/exp_homa.ml: Array Bfc_engine Bfc_net Bfc_switch Bfc_transport Bfc_util Bfc_workload Exp_common List Metrics Printf Runner Scheme

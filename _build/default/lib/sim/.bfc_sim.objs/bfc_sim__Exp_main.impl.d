@@ -1,0 +1,1 @@
+lib/sim/exp_main.ml: Bfc_engine Bfc_net Bfc_util Bfc_workload Exp_common List Metrics Printf Runner Scheme

@@ -1,0 +1,1 @@
+lib/sim/exp_testbed.ml: Array Bfc_core Bfc_engine Bfc_net Bfc_switch Bfc_util Bfc_workload Exp_common List Metrics Runner Scheme

@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Exp_ablation Exp_appendix Exp_common Exp_homa Exp_main Exp_motivation Exp_testbed Filename List Printf Sys Unix

@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Array Bfc_engine Bfc_net Bfc_switch Bfc_util List Runner

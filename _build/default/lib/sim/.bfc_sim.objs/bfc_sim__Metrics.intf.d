@@ -1,0 +1,1 @@
+lib/sim/metrics.mli: Bfc_engine Bfc_net Bfc_util Runner

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Bfc_core Bfc_engine Bfc_net Bfc_switch Bfc_transport Bfc_util Bfc_workload Hashtbl List Option Printf Scheme

@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Bfc_core Bfc_engine Bfc_net Bfc_switch Bfc_transport Bfc_workload Scheme

@@ -1,0 +1,1 @@
+lib/sim/scheme.ml: Bfc_core Bfc_engine List String

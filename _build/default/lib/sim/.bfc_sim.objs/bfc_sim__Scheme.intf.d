@@ -1,0 +1,1 @@
+lib/sim/scheme.mli: Bfc_core Bfc_engine

@@ -1,0 +1,1 @@
+lib/sim/tracer.ml: Array Bfc_engine Bfc_net Bfc_switch Buffer Hashtbl List Option Printf Runner

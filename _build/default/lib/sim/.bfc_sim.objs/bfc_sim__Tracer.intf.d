@@ -1,0 +1,1 @@
+lib/sim/tracer.mli: Bfc_engine Runner

@@ -1,0 +1,193 @@
+module Time = Bfc_engine.Time
+module Sim = Bfc_engine.Sim
+module Topology = Bfc_net.Topology
+module Dist = Bfc_workload.Dist
+module Traffic = Bfc_workload.Traffic
+module Arrivals = Bfc_workload.Arrivals
+module Sample = Bfc_util.Stats.Sample
+
+type profile = Smoke | Quick | Paper
+
+let profile_of_string = function
+  | "smoke" -> Smoke
+  | "quick" -> Quick
+  | "paper" -> Paper
+  | s -> invalid_arg (Printf.sprintf "unknown profile %S (smoke|quick|paper)" s)
+
+type table = { title : string; header : string list; rows : string list list }
+
+let print_table t = Bfc_util.Ascii_table.print ~title:t.title ~header:t.header t.rows
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv t ~path =
+  let oc = open_out path in
+  output_string oc ("# " ^ t.title ^ "\n");
+  List.iter
+    (fun row -> output_string oc (String.concat "," (List.map csv_escape row) ^ "\n"))
+    (t.header :: t.rows);
+  close_out oc
+
+let cell = Bfc_util.Ascii_table.float_cell
+
+let clos_scale = function
+  | Smoke -> (2, 2, 4)
+  | Quick -> (4, 4, 8)
+  | Paper -> (8, 8, 16)
+
+let duration profile ~dist =
+  (* Budget enough trace time for a few thousand flows at Quick scale. *)
+  let mean = Dist.mean dist in
+  let base =
+    match profile with
+    | Smoke -> Time.us 300.0
+    | Quick -> Time.ms 1.2
+    | Paper -> Time.ms 10.0
+  in
+  (* heavier-flow workloads need longer traces for the same flow count *)
+  if mean > 50_000.0 then 2 * base else base
+
+type incast_mix = { degree : int; agg_frac_of_paper : float }
+
+let default_incast = { degree = 100; agg_frac_of_paper = 1.0 }
+
+type std_setup = {
+  sp_profile : profile;
+  sp_scheme : Scheme.t;
+  sp_dist : Dist.t;
+  sp_load : float;
+  sp_incast : incast_mix option;
+  sp_classes : int;
+  sp_locality : float option;
+  sp_track_active : bool;
+  sp_seed : int;
+  sp_dur_mult : float;
+  sp_params : Runner.params -> Runner.params;
+}
+
+let std profile scheme =
+  {
+    sp_profile = profile;
+    sp_scheme = scheme;
+    sp_dist = Dist.fb_hadoop;
+    sp_load = 0.6;
+    sp_incast = None;
+    sp_classes = 1;
+    sp_locality = None;
+    sp_track_active = false;
+    sp_seed = 1;
+    sp_dur_mult = 1.0;
+    sp_params = (fun p -> p);
+  }
+
+type std_result = {
+  env : Runner.env;
+  flows : Bfc_net.Flow.t list;
+  buffers : Sample.t;
+  active : Sample.t option;
+  measure_from : Time.t;
+}
+
+let run_std s =
+  let sim = Sim.create () in
+  let spines, tors, hosts_per_tor = clos_scale s.sp_profile in
+  let cl = Topology.clos sim ~spines ~tors ~hosts_per_tor ~gbps:100.0 ~prop:(Time.us 1.0) in
+  Runner.homa_dist := s.sp_dist;
+  let params =
+    s.sp_params
+      {
+        Runner.default_params with
+        track_active_flows = s.sp_track_active;
+        classes = s.sp_classes;
+        seed = s.sp_seed;
+      }
+  in
+  let env = Runner.setup ~topo:cl.Topology.t ~scheme:s.sp_scheme ~params in
+  let hosts = cl.Topology.cl_hosts in
+  let n_hosts = Array.length hosts in
+  let dur =
+    int_of_float (s.sp_dur_mult *. float_of_int (duration s.sp_profile ~dist:s.sp_dist))
+  in
+  let core_gbps = float_of_int (spines * tors) *. 100.0 in
+  let uniform_cross = 1.0 -. (float_of_int (hosts_per_tor - 1) /. float_of_int (n_hosts - 1)) in
+  let matrix, core_fraction =
+    match s.sp_locality with
+    | None -> (Traffic.Uniform, uniform_cross)
+    | Some local_frac ->
+      ( Traffic.Rack_local { local_frac; rack_of = cl.Topology.rack_of },
+        1.0 -. local_frac )
+  in
+  let bg_load, incast_flows, ids =
+    let ids = ref 0 in
+    match s.sp_incast with
+    | None -> (s.sp_load, [], ids)
+    | Some im ->
+      (* the paper's convention: total load includes 5% incast *)
+      let frac = 0.05 in
+      let agg =
+        max 100_000
+          (int_of_float (20e6 *. im.agg_frac_of_paper *. (core_gbps /. 6400.0)))
+      in
+      let period = Traffic.period_for_load ~agg_size:agg ~frac ~ref_capacity_gbps:core_gbps in
+      let inc =
+        Traffic.generate_incast
+          {
+            Traffic.i_hosts = hosts;
+            degree = im.degree;
+            agg_size = agg;
+            period;
+            i_duration = dur;
+            i_seed = s.sp_seed + 1000;
+          }
+          ~ids
+      in
+      (s.sp_load -. frac, inc, ids)
+  in
+  let spec =
+    {
+      Traffic.hosts;
+      dist = s.sp_dist;
+      arrivals = Arrivals.lognormal_default;
+      load = bg_load;
+      ref_capacity_gbps = core_gbps;
+      core_fraction;
+      matrix;
+      duration = dur;
+      seed = s.sp_seed;
+      prio_classes = s.sp_classes;
+    }
+  in
+  let bg = Traffic.generate spec ~ids in
+  let flows = Traffic.merge [ bg; incast_flows ] in
+  let buffers = Metrics.watch_buffers env ~period:(Time.us 5.0) in
+  let active =
+    if s.sp_track_active then Some (Metrics.watch_active_flows env ~period:(Time.us 10.0))
+    else None
+  in
+  Runner.inject env flows;
+  Runner.run env ~until:dur;
+  Runner.drain env ~budget:(8 * dur);
+  let measure_from = dur / 10 in
+  { env; flows; buffers; active; measure_from }
+
+let fct_rows r =
+  let stats = Metrics.fct_table r.env ~since:r.measure_from r.flows in
+  List.filter_map
+    (fun (s : Metrics.fct_stats) ->
+      if s.Metrics.count = 0 then None
+      else
+        Some
+          [
+            s.Metrics.bucket;
+            string_of_int s.Metrics.count;
+            cell s.Metrics.avg;
+            cell s.Metrics.p50;
+            cell s.Metrics.p95;
+            cell s.Metrics.p99;
+          ])
+    stats
+
+let buffer_p99 r = if Sample.is_empty r.buffers then 0.0 else Sample.percentile r.buffers 99.0

@@ -1,0 +1,68 @@
+(** Shared scaffolding for the paper-reproduction experiments.
+
+    Profiles pick the scale: [Smoke] for tests (seconds), [Quick] for the
+    default bench run (a half-scale Clos, short traces — the shape of every
+    result is preserved), [Paper] for the full §6.2.1 configuration. *)
+
+type profile = Smoke | Quick | Paper
+
+val profile_of_string : string -> profile
+
+type table = { title : string; header : string list; rows : string list list }
+
+val print_table : table -> unit
+
+(** Write a table as CSV (header row first, title as a # comment). *)
+val write_csv : table -> path:string -> unit
+
+val cell : float -> string
+
+(** Clos scale for a profile: (spines, tors, hosts_per_tor). *)
+val clos_scale : profile -> int * int * int
+
+(** Trace duration for a profile, scaled by the workload's mean flow size
+    so every run completes a comparable flow count. *)
+val duration : profile -> dist:Bfc_workload.Dist.t -> Bfc_engine.Time.t
+
+type incast_mix = {
+  degree : int;
+  agg_frac_of_paper : float; (** aggregate size relative to 20 MB at paper scale *)
+}
+
+val default_incast : incast_mix
+
+(** One standard Clos experiment (the Fig. 9/10/11 machinery). *)
+type std_setup = {
+  sp_profile : profile;
+  sp_scheme : Scheme.t;
+  sp_dist : Bfc_workload.Dist.t;
+  sp_load : float;
+  sp_incast : incast_mix option;
+  sp_classes : int;
+  sp_locality : float option; (** rack-local probability (Fig. 22) *)
+  sp_track_active : bool;
+  sp_seed : int;
+  sp_dur_mult : float;
+      (** scales the trace duration (high-load sweeps need longer traces to
+          reach steady state) *)
+  sp_params : Runner.params -> Runner.params; (** final tweak *)
+}
+
+val std : profile -> Scheme.t -> std_setup
+
+type std_result = {
+  env : Runner.env;
+  flows : Bfc_net.Flow.t list;
+  buffers : Bfc_util.Stats.Sample.t;
+  active : Bfc_util.Stats.Sample.t option;
+  measure_from : Bfc_engine.Time.t; (** warmup cutoff for FCT stats *)
+}
+
+val run_std : std_setup -> std_result
+
+(** Rows of per-bucket slowdown stats for one run, prefixed by the scheme
+    name: bucket, n, avg, p50, p95, p99. *)
+val fct_rows : std_result -> string list list
+
+(** p99 (bytes) of the buffer occupancy samples. *)
+val buffer_p99 : std_result -> float

@@ -1,0 +1,145 @@
+(* Tofino2 testbed experiments (§6.1), reproduced on the simulated
+   equivalent of the loopback topology: Fig. 7 (queue length and
+   under-utilization vs pause threshold) and Fig. 8 (congestion spreading
+   under the three queue-assignment strategies). *)
+
+module Time = Bfc_engine.Time
+module Sim = Bfc_engine.Sim
+module Topology = Bfc_net.Topology
+module Flow = Bfc_net.Flow
+module Switch = Bfc_switch.Switch
+module Traffic = Bfc_workload.Traffic
+module Sample = Bfc_util.Stats.Sample
+open Exp_common
+
+let egress_towards topo ~switch ~peer =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i p -> if (Bfc_net.Port.peer p).Bfc_net.Node.id = peer then found := i)
+    (Topology.ports topo switch);
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: two flows at a 100G link; sweep the pause threshold.         *)
+
+let fig7 profile =
+  let duration =
+    match profile with Smoke -> Time.us 300.0 | Quick -> Time.ms 2.0 | Paper -> Time.ms 10.0
+  in
+  (* thresholds in us of drain time at 100G (12.5 KB/us) *)
+  let ths_us = [ 0.25; 0.5; 1.0; 2.0; 4.0 ] in
+  let rows =
+    List.map
+      (fun th_us ->
+        let sim = Sim.create () in
+        let tb = Topology.testbed sim ~g1:1 ~g2:1 ~g3:1 ~gbps:100.0 ~prop:(Time.us 1.0) in
+        let fixed_th = int_of_float (th_us *. 12_500.0) in
+        let scheme =
+          Scheme.Bfc { Scheme.bfc_default with Scheme.queues = 16; fixed_th = Some fixed_th }
+        in
+        let env = Runner.setup ~topo:tb.Topology.tb ~scheme ~params:Runner.default_params in
+        let ids = ref 0 in
+        let flows =
+          Traffic.long_lived
+            ~pairs:
+              [|
+                (tb.Topology.group2.(0), tb.Topology.recv2);
+                (tb.Topology.group3.(0), tb.Topology.recv2);
+              |]
+            ~ids ()
+        in
+        let egress = egress_towards tb.Topology.tb ~switch:tb.Topology.sw2 ~peer:tb.Topology.recv2 in
+        let sw2 =
+          Array.to_list (Runner.switches env)
+          |> List.find (fun s -> Switch.node_id s = tb.Topology.sw2)
+        in
+        let qlen = Sample.create () in
+        ignore
+          (Sim.every sim ~period:(Time.ns 500) (fun () ->
+               Sample.add qlen (float_of_int (Switch.egress_bytes sw2 ~egress))));
+        let probe =
+          Metrics.utilization_probe env
+            ~gid:(Bfc_net.Port.gid (Topology.port tb.Topology.tb tb.Topology.sw2 egress))
+        in
+        Runner.inject env flows;
+        Runner.run env ~until:duration;
+        let util = Metrics.utilization probe in
+        [
+          cell th_us;
+          string_of_int fixed_th;
+          cell (Sample.mean qlen /. 1000.0);
+          cell (Sample.percentile qlen 99.0 /. 1000.0);
+          cell ((1.0 -. util) *. 100.0);
+        ])
+      ths_us
+  in
+  [
+    {
+      title = "Fig 7: queue length & under-utilization vs pause threshold (2 flows, 100G)";
+      header = [ "Th(us)"; "Th(B)"; "avg qlen(KB)"; "p99 qlen(KB)"; "under-util(%)" ];
+      rows;
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: congestion spreading vs queue-assignment strategy.           *)
+
+let fig8 profile =
+  let n_runs = match profile with Smoke -> 2 | Quick -> 4 | Paper -> 8 in
+  let g2_counts = match profile with Smoke -> [ 8 ] | _ -> [ 4; 8; 12; 16; 20 ] in
+  let strategies =
+    [
+      ("single", Bfc_core.Dqa.Single);
+      ("stochastic", Bfc_core.Dqa.Stochastic);
+      ("dynamic", Bfc_core.Dqa.Dynamic);
+    ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (sname, assignment) ->
+      List.iter
+        (fun g2 ->
+          let fcts = Sample.create () in
+          for run = 1 to n_runs do
+            let sim = Sim.create () in
+            let tb = Topology.testbed sim ~g1:2 ~g2 ~g3:8 ~gbps:100.0 ~prop:(Time.us 1.0) in
+            let scheme =
+              Scheme.Bfc { Scheme.bfc_default with Scheme.queues = 16; assignment }
+            in
+            let params = { Runner.default_params with seed = run * 7 } in
+            let env = Runner.setup ~topo:tb.Topology.tb ~scheme ~params in
+            let ids = ref (run * 10_000) in
+            let size = 1_500_000 in
+            let mk src dst =
+              let id = !ids in
+              incr ids;
+              Flow.make ~id ~src ~dst ~size ~arrival:0 ()
+            in
+            let group1 = Array.to_list (Array.map (fun h -> mk h tb.Topology.recv1) tb.Topology.group1) in
+            let group2 = Array.to_list (Array.map (fun h -> mk h tb.Topology.recv2) tb.Topology.group2) in
+            let group3 = Array.to_list (Array.map (fun h -> mk h tb.Topology.recv2) tb.Topology.group3) in
+            Runner.inject env (group1 @ group2 @ group3);
+            Runner.run env ~until:(Time.ms 10.0);
+            Runner.drain env ~budget:(Time.ms 40.0);
+            List.iter
+              (fun f -> if Flow.complete f then Sample.add fcts (Time.to_us (Flow.fct f)))
+              group1
+          done;
+          rows :=
+            [
+              sname;
+              string_of_int g2;
+              cell (Sample.mean fcts);
+              cell (Sample.stddev fcts);
+            ]
+            :: !rows)
+        g2_counts)
+    strategies;
+  [
+    {
+      title =
+        "Fig 8: group-1 victim FCT under congestion spreading (1.5MB flows; 16 queues/port)";
+      header = [ "assignment"; "#group2 flows"; "avg FCT(us)"; "stddev(us)" ];
+      rows = List.rev !rows;
+    };
+  ]

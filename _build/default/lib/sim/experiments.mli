@@ -1,0 +1,19 @@
+(** Registry of every table/figure reproduction (see DESIGN.md's
+    per-experiment index). Each target maps to a function producing
+    printable tables at the requested profile. *)
+
+type target = {
+  t_name : string; (** e.g. "fig9", "table1" *)
+  t_what : string; (** one-line description *)
+  t_run : Exp_common.profile -> Exp_common.table list;
+}
+
+val all : target list
+
+val find : string -> target option
+
+val names : unit -> string list
+
+(** Run one target and print its tables, with wall-clock timing; also
+    write each table as CSV into [csv_dir] when given. *)
+val run_and_print : ?csv_dir:string -> Exp_common.profile -> target -> unit

@@ -1,0 +1,157 @@
+module Flow = Bfc_net.Flow
+module Sim = Bfc_engine.Sim
+module Switch = Bfc_switch.Switch
+module Sample = Bfc_util.Stats.Sample
+
+let size_buckets =
+  [
+    ("<3K", 0, 3_000);
+    ("3-10K", 3_000, 10_000);
+    ("10-30K", 10_000, 30_000);
+    ("30-100K", 30_000, 100_000);
+    ("100-300K", 100_000, 300_000);
+    ("0.3-1M", 300_000, 1_000_000);
+    ("1-3M", 1_000_000, 3_000_000);
+    (">3M", 3_000_000, max_int);
+  ]
+
+type fct_stats = {
+  bucket : string;
+  lo : int;
+  count : int;
+  avg : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let eligible ?(incast = false) ?(since = 0) flows =
+  List.filter
+    (fun f -> Flow.complete f && f.Flow.is_incast = incast && f.Flow.arrival >= since)
+    flows
+
+let stats_of ~bucket ~lo sample =
+  if Sample.is_empty sample then
+    { bucket; lo; count = 0; avg = nan; p50 = nan; p95 = nan; p99 = nan }
+  else
+    {
+      bucket;
+      lo;
+      count = Sample.count sample;
+      avg = Sample.mean sample;
+      p50 = Sample.percentile sample 50.0;
+      p95 = Sample.percentile sample 95.0;
+      p99 = Sample.percentile sample 99.0;
+    }
+
+let fct_table env ?(incast = false) ?(since = 0) flows =
+  let flows = eligible ~incast ~since flows in
+  List.map
+    (fun (bucket, lo, hi) ->
+      let s = Sample.create () in
+      List.iter
+        (fun f -> if f.Flow.size >= lo && f.Flow.size < hi then Sample.add s (Runner.slowdown env f))
+        flows;
+      stats_of ~bucket ~lo s)
+    size_buckets
+
+let fct_overall env flows =
+  let s = Sample.create () in
+  List.iter (fun f -> if Flow.complete f then Sample.add s (Runner.slowdown env f)) flows;
+  stats_of ~bucket:"all" ~lo:0 s
+
+let short_p99 env ?(since = 0) flows =
+  let s = Sample.create () in
+  List.iter
+    (fun f ->
+      if Flow.complete f && (not f.Flow.is_incast) && f.Flow.arrival >= since && f.Flow.size < 3_000
+      then Sample.add s (Runner.slowdown env f))
+    (List.filter (fun _ -> true) flows);
+  if Sample.is_empty s then nan else Sample.percentile s 99.0
+
+let long_avg env ?(threshold = 3_000_000) ?(since = 0) flows =
+  let s = Sample.create () in
+  List.iter
+    (fun f ->
+      if
+        Flow.complete f && (not f.Flow.is_incast) && f.Flow.arrival >= since
+        && f.Flow.size >= threshold
+      then Sample.add s (Runner.slowdown env f))
+    flows;
+  if Sample.is_empty s then nan else Sample.mean s
+
+let median_slowdown env flows =
+  let s = Sample.create () in
+  List.iter (fun f -> if Flow.complete f then Sample.add s (Runner.slowdown env f)) flows;
+  if Sample.is_empty s then nan else Sample.percentile s 50.0
+
+let watch_buffers env ~period =
+  let s = Sample.create () in
+  ignore
+    (Sim.every (Runner.sim env) ~period (fun () ->
+         Array.iter
+           (fun sw -> Sample.add s (float_of_int (Switch.buffer_used sw)))
+           (Runner.switches env)));
+  s
+
+let watch_active_flows env ~period =
+  let s = Sample.create () in
+  ignore
+    (Sim.every (Runner.sim env) ~period (fun () ->
+         Array.iter
+           (fun sw ->
+             for e = 0 to Switch.n_ports sw - 1 do
+               (* only fabric-facing ports matter for Fig. 4/10c; counting
+                  all switch egresses matches "at a port" in the paper *)
+               Sample.add s (float_of_int (Switch.active_flows sw ~egress:e))
+             done)
+           (Runner.switches env)));
+  s
+
+type util_probe = { port : Bfc_net.Port.t; t0 : Bfc_engine.Time.t; b0 : int; env : Runner.env }
+
+let utilization_probe env ~gid =
+  let port = Bfc_net.Topology.port_by_gid (Runner.topo env) gid in
+  { port; t0 = Sim.now (Runner.sim env); b0 = Bfc_net.Port.tx_bytes port; env }
+
+let utilization probe =
+  let now = Sim.now (Runner.sim probe.env) in
+  let dt = now - probe.t0 in
+  if dt <= 0 then 0.0
+  else begin
+    let bytes = Bfc_net.Port.tx_bytes probe.port - probe.b0 in
+    let capacity = Bfc_net.Port.gbps probe.port /. 8.0 *. float_of_int dt in
+    float_of_int bytes /. capacity
+  end
+
+let watch_queue_delay env ~filter =
+  let s = Sample.create () in
+  Array.iter
+    (fun sw ->
+      let hk = Switch.hooks sw in
+      let prev = hk.Switch.on_pkt_departed in
+      hk.Switch.on_pkt_departed <-
+        (fun sw ~egress pkt ~delay ->
+          prev sw ~egress pkt ~delay;
+          if pkt.Bfc_net.Packet.kind = Bfc_net.Packet.Data && filter ~sw:(Switch.node_id sw) ~egress
+          then Sample.add s (float_of_int delay /. 1000.0)))
+    (Runner.switches env);
+  s
+
+let jain_fairness env ~min_size ?(max_size = max_int) flows =
+  ignore env;
+  let xs =
+    List.filter_map
+      (fun f ->
+        if Flow.complete f && f.Flow.size >= min_size && f.Flow.size < max_size then
+          Some (float_of_int f.Flow.size /. float_of_int (Flow.fct f))
+        else None)
+      flows
+  in
+  match xs with
+  | [] -> nan
+  | _ ->
+    let n = float_of_int (List.length xs) in
+    let s = List.fold_left ( +. ) 0.0 xs in
+    let s2 = List.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+    s *. s /. (n *. s2)

@@ -1,0 +1,115 @@
+module Packet = Bfc_net.Packet
+module Node = Bfc_net.Node
+module Topology = Bfc_net.Topology
+module Switch = Bfc_switch.Switch
+
+type kind =
+  | Pause_rx of { queue : int }
+  | Resume_rx of { queue : int }
+  | Bitmap_rx of { paused : int }
+  | Pfc_rx of { pause : bool }
+  | Hop_credit_rx of { queue : int; bytes : int }
+  | Dropped of { flow : int }
+
+type event = { at : Bfc_engine.Time.t; node : int; ev : kind }
+
+type t = {
+  ring : event option array;
+  mutable next : int;
+  mutable observed : int;
+}
+
+let record t at node ev =
+  t.ring.(t.next) <- Some { at; node; ev };
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.observed <- t.observed + 1
+
+let attach env ~capacity =
+  if capacity <= 0 then invalid_arg "Tracer.attach: capacity";
+  let t = { ring = Array.make capacity None; next = 0; observed = 0 } in
+  let topo = Runner.topo env in
+  let sim = Runner.sim env in
+  Array.iter
+    (fun nd ->
+      let prev = nd.Node.handler in
+      nd.Node.handler <-
+        (fun ~in_port pkt ->
+          (match pkt.Packet.kind with
+          | Packet.Pause ->
+            record t (Bfc_engine.Sim.now sim) nd.Node.id (Pause_rx { queue = pkt.Packet.ctrl_a })
+          | Packet.Resume ->
+            record t (Bfc_engine.Sim.now sim) nd.Node.id (Resume_rx { queue = pkt.Packet.ctrl_a })
+          | Packet.Pause_bitmap ->
+            record t (Bfc_engine.Sim.now sim) nd.Node.id
+              (Bitmap_rx { paused = Array.length pkt.Packet.ints })
+          | Packet.Pfc ->
+            record t (Bfc_engine.Sim.now sim) nd.Node.id (Pfc_rx { pause = pkt.Packet.ctrl_b = 1 })
+          | Packet.Hop_credit ->
+            record t (Bfc_engine.Sim.now sim) nd.Node.id
+              (Hop_credit_rx { queue = pkt.Packet.ctrl_a; bytes = pkt.Packet.ctrl_b })
+          | Packet.Data | Packet.Ack | Packet.Nack | Packet.Credit | Packet.Credit_req
+          | Packet.Grant | Packet.Cnp ->
+            ());
+          prev ~in_port pkt))
+    (Topology.nodes topo);
+  Array.iter
+    (fun sw ->
+      let hk = Switch.hooks sw in
+      let prev = hk.Switch.on_drop in
+      hk.Switch.on_drop <-
+        (fun sw ~in_port ~egress ~queue pkt ->
+          prev sw ~in_port ~egress ~queue pkt;
+          record t (Bfc_engine.Sim.now sim) (Switch.node_id sw)
+            (Dropped { flow = Packet.flow_id pkt })))
+    (Runner.switches env);
+  t
+
+let events t =
+  (* slot [t.next] holds the oldest event once the ring has wrapped *)
+  let n = Array.length t.ring in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match t.ring.((t.next + i) mod n) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let observed t = t.observed
+
+let count t ~pred = List.length (List.filter pred (events t))
+
+let pause_balance t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let p, r = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl e.node) in
+      match e.ev with
+      | Pause_rx _ -> Hashtbl.replace tbl e.node (p + 1, r)
+      | Resume_rx _ -> Hashtbl.replace tbl e.node (p, r + 1)
+      | Bitmap_rx _ | Pfc_rx _ | Hop_credit_rx _ | Dropped _ -> ())
+    (events t);
+  Hashtbl.fold (fun node (p, r) acc -> (node, p, r) :: acc) tbl []
+  |> List.sort compare
+
+let kind_to_string = function
+  | Pause_rx { queue } -> Printf.sprintf "PAUSE   q=%d" queue
+  | Resume_rx { queue } -> Printf.sprintf "RESUME  q=%d" queue
+  | Bitmap_rx { paused } -> Printf.sprintf "BITMAP  paused=%d" paused
+  | Pfc_rx { pause } -> if pause then "PFC     pause" else "PFC     resume"
+  | Hop_credit_rx { queue; bytes } -> Printf.sprintf "CREDIT  q=%d +%dB" queue bytes
+  | Dropped { flow } -> Printf.sprintf "DROP    flow=%d" flow
+
+let render ?(limit = 50) t =
+  let buf = Buffer.create 1024 in
+  let evs = events t in
+  let skip = max 0 (List.length evs - limit) in
+  if skip > 0 then Buffer.add_string buf (Printf.sprintf "... (%d earlier events)\n" skip);
+  List.iteri
+    (fun i e ->
+      if i >= skip then
+        Buffer.add_string buf
+          (Printf.sprintf "%10.3fus  node %-3d  %s\n" (Bfc_engine.Time.to_us e.at) e.node
+             (kind_to_string e.ev)))
+    evs;
+  Buffer.contents buf

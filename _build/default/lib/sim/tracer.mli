@@ -1,0 +1,38 @@
+(** Network-wide control-plane tracing.
+
+    Wraps every node's receive handler (after {!Runner.setup}) to record
+    Pause / Resume / pause-bitmap / PFC / hop-credit control packets with
+    timestamps, plus packet drops — the observable control actions of the
+    backpressure machinery. Useful for debugging pause storms, verifying
+    pause/resume pairing, and producing timelines. *)
+
+type kind =
+  | Pause_rx of { queue : int }
+  | Resume_rx of { queue : int }
+  | Bitmap_rx of { paused : int }  (** number of queues the bitmap pauses *)
+  | Pfc_rx of { pause : bool }
+  | Hop_credit_rx of { queue : int; bytes : int }
+  | Dropped of { flow : int }
+
+type event = { at : Bfc_engine.Time.t; node : int; ev : kind }
+
+type t
+
+(** [attach env ~capacity] starts recording (ring buffer of [capacity]
+    events; oldest dropped first). Call after [Runner.setup], before
+    running. *)
+val attach : Runner.env -> capacity:int -> t
+
+(** Events in chronological order (oldest first). *)
+val events : t -> event list
+
+(** Total events observed (including any that fell off the ring). *)
+val observed : t -> int
+
+val count : t -> pred:(event -> bool) -> int
+
+(** Pauses and resumes received per node, as (node, pauses, resumes). *)
+val pause_balance : t -> (int * int * int) list
+
+(** Render a human-readable timeline of up to [limit] events. *)
+val render : ?limit:int -> t -> string

@@ -1,0 +1,1 @@
+lib/switch/buffer.mli:

@@ -1,0 +1,1 @@
+lib/switch/fifo.ml: Bfc_net Queue

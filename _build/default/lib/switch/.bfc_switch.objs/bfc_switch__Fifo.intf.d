@@ -1,0 +1,1 @@
+lib/switch/fifo.mli: Bfc_net Queue

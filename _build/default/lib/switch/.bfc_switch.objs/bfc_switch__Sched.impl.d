@@ -1,0 +1,1 @@
+lib/switch/sched.ml: Array Bfc_net Fifo Queue

@@ -1,0 +1,1 @@
+lib/switch/sched.mli: Bfc_net Fifo

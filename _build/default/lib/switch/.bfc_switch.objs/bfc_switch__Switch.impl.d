@@ -1,0 +1,1 @@
+lib/switch/switch.ml: Array Bfc_engine Bfc_net Bfc_util Buffer Fifo Hashtbl Sched

@@ -1,0 +1,1 @@
+lib/switch/switch.mli: Bfc_engine Bfc_net Buffer Fifo Sched

@@ -1,0 +1,30 @@
+type t = {
+  idx : int;
+  cls : int;
+  q : Bfc_net.Packet.t Queue.t;
+  mutable bytes : int;
+  mutable paused : bool;
+  mutable deficit : int;
+  mutable in_ring : bool;
+}
+
+let create ~idx ~cls =
+  { idx; cls; q = Queue.create (); bytes = 0; paused = false; deficit = 0; in_ring = false }
+
+let is_empty t = Queue.is_empty t.q
+
+let length t = Queue.length t.q
+
+let push t pkt =
+  Queue.add pkt t.q;
+  t.bytes <- t.bytes + pkt.Bfc_net.Packet.size
+
+let pop t =
+  let pkt = Queue.pop t.q in
+  t.bytes <- t.bytes - pkt.Bfc_net.Packet.size;
+  pkt
+
+let peek t = Queue.peek_opt t.q
+
+let head_remaining t =
+  match Queue.peek_opt t.q with None -> max_int | Some p -> p.Bfc_net.Packet.remaining

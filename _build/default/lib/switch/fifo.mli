@@ -1,0 +1,31 @@
+(** One physical FIFO queue at an egress port (or NIC).
+
+    Queues can be paused/resumed individually (the Tofino2 capability BFC
+    builds on). Pausing affects scheduling eligibility only; enqueues are
+    still accepted (admission is the buffer model's job). *)
+
+type t = {
+  idx : int; (** queue index within its egress port *)
+  cls : int; (** traffic class this queue belongs to *)
+  q : Bfc_net.Packet.t Queue.t;
+  mutable bytes : int;
+  mutable paused : bool; (** per-queue (BFC) pause *)
+  mutable deficit : int; (** DRR state *)
+  mutable in_ring : bool; (** scheduler bookkeeping *)
+}
+
+val create : idx:int -> cls:int -> t
+
+val is_empty : t -> bool
+
+val length : t -> int
+
+val push : t -> Bfc_net.Packet.t -> unit
+
+val pop : t -> Bfc_net.Packet.t
+
+val peek : t -> Bfc_net.Packet.t option
+
+(** Head packet's [remaining] header field; [max_int] when empty (used by
+    SRF scheduling). *)
+val head_remaining : t -> int

@@ -1,0 +1,143 @@
+type policy = Drr | Srf | Prio_strict
+
+type t = {
+  policy : policy;
+  queues : Fifo.t array;
+  classes : int;
+  quantum : int;
+  rings : Fifo.t Queue.t array; (* one candidate ring per class *)
+  mutable nonempty : int;
+  mutable nonempty_paused : int;
+}
+
+let create policy ~queues ~classes ~quantum =
+  if classes <= 0 then invalid_arg "Sched.create: classes";
+  {
+    policy;
+    queues;
+    classes;
+    quantum;
+    rings = Array.init classes (fun _ -> Queue.create ());
+    nonempty = 0;
+    nonempty_paused = 0;
+  }
+
+let policy t = t.policy
+
+let eligible q = (not (Fifo.is_empty q)) && not q.Fifo.paused
+
+let activate t q =
+  if (not q.Fifo.in_ring) && eligible q then begin
+    q.Fifo.in_ring <- true;
+    Queue.add q t.rings.(q.Fifo.cls)
+  end
+
+let push t q pkt =
+  let was_empty = Fifo.is_empty q in
+  Fifo.push q pkt;
+  if was_empty then begin
+    t.nonempty <- t.nonempty + 1;
+    if q.Fifo.paused then t.nonempty_paused <- t.nonempty_paused + 1
+  end;
+  activate t q
+
+let note_popped t q =
+  if Fifo.is_empty q then begin
+    t.nonempty <- t.nonempty - 1;
+    if q.Fifo.paused then t.nonempty_paused <- t.nonempty_paused - 1;
+    q.Fifo.deficit <- 0
+  end
+
+let set_paused t q paused =
+  if q.Fifo.paused <> paused then begin
+    q.Fifo.paused <- paused;
+    if not (Fifo.is_empty q) then
+      t.nonempty_paused <- (t.nonempty_paused + if paused then 1 else -1);
+    if not paused then activate t q
+  end
+
+(* Evict the ring front (lazily removing stale candidates). *)
+let evict_front ring =
+  let q = Queue.pop ring in
+  q.Fifo.in_ring <- false;
+  q
+
+let next_drr t ring =
+  (* Serve the front queue if its deficit covers the head packet, otherwise
+     top up its deficit and rotate. Bounded: each queue is visited at most
+     twice per call because the quantum covers a full-size packet. *)
+  let budget = ref ((2 * Queue.length ring) + 2) in
+  let result = ref None in
+  while !result = None && (not (Queue.is_empty ring)) && !budget > 0 do
+    decr budget;
+    let q = Queue.peek ring in
+    if not (eligible q) then ignore (evict_front ring)
+    else begin
+      match Fifo.peek q with
+      | None -> ignore (evict_front ring)
+      | Some pkt ->
+        if q.Fifo.deficit >= pkt.Bfc_net.Packet.size then begin
+          ignore (Fifo.pop q);
+          q.Fifo.deficit <- q.Fifo.deficit - pkt.Bfc_net.Packet.size;
+          note_popped t q;
+          if Fifo.is_empty q then ignore (evict_front ring);
+          result := Some (q, pkt)
+        end
+        else begin
+          q.Fifo.deficit <- q.Fifo.deficit + t.quantum;
+          let q = evict_front ring in
+          q.Fifo.in_ring <- true;
+          Queue.add q ring
+        end
+    end
+  done;
+  !result
+
+let next_scan t ring ~better =
+  (* Scan the whole ring, evicting stale entries, keeping the best eligible
+     queue per [better]; used for SRF and strict priority. *)
+  let n = Queue.length ring in
+  let best = ref None in
+  for _ = 1 to n do
+    let q = Queue.pop ring in
+    if eligible q then begin
+      Queue.add q ring;
+      match !best with
+      | None -> best := Some q
+      | Some b -> if better q b then best := Some q
+    end
+    else q.Fifo.in_ring <- false
+  done;
+  match !best with
+  | None -> None
+  | Some q ->
+    let pkt = Fifo.pop q in
+    note_popped t q;
+    Some (q, pkt)
+
+let next t =
+  let rec by_class c =
+    if c >= t.classes then None
+    else begin
+      let ring = t.rings.(c) in
+      let r =
+        if Queue.is_empty ring then None
+        else begin
+          match t.policy with
+          | Drr -> next_drr t ring
+          | Srf ->
+            next_scan t ring ~better:(fun a b -> Fifo.head_remaining a < Fifo.head_remaining b)
+          | Prio_strict -> next_scan t ring ~better:(fun a b -> a.Fifo.idx < b.Fifo.idx)
+        end
+      in
+      match r with None -> by_class (c + 1) | Some _ -> r
+    end
+  in
+  by_class 0
+
+let n_active t = t.nonempty - t.nonempty_paused
+
+let n_backlogged t = t.nonempty
+
+let iter_backlogged t f =
+  Array.iter (fun q -> if not (Fifo.is_empty q) then f q) t.queues

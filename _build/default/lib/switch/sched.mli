@@ -1,0 +1,50 @@
+(** Egress-port packet scheduler.
+
+    Policies:
+    - [Drr]: deficit round robin among eligible queues (per-flow fair
+      queuing when each flow has its own queue — BFC's default, §3.3.1);
+    - [Srf]: serve the eligible queue whose head packet has the smallest
+      remaining-flow-size header (BFC-SRF, App. A.2);
+    - [Prio_strict]: strict priority by queue index (Homa's priority
+      queues).
+
+    With [classes > 1], queues are statically partitioned among classes
+    (queue [i] belongs to class [i * classes / n_queues]); classes are
+    served in strict priority and the policy applies within a class
+    (App. A.3).
+
+    A queue is *eligible* when it has packets, is not BFC-paused, and its
+    egress is not PFC-paused. The scheduler is notified of state changes via
+    [activate] (queue may have become servable). *)
+
+type policy = Drr | Srf | Prio_strict
+
+type t
+
+val create : policy -> queues:Fifo.t array -> classes:int -> quantum:int -> t
+
+val policy : t -> policy
+
+(** Tell the scheduler this queue may now be servable (enqueue into empty
+    queue, resume, PFC unpause). Idempotent. *)
+val activate : t -> Fifo.t -> unit
+
+(** Enqueue through the scheduler so its backlog accounting stays exact. *)
+val push : t -> Fifo.t -> Bfc_net.Packet.t -> unit
+
+(** Pause or resume a queue (BFC's per-queue pause). *)
+val set_paused : t -> Fifo.t -> bool -> unit
+
+(** Pick and pop the next packet to transmit, honouring pauses; [None] when
+    no queue is eligible. Updates DRR deficits. Returns the queue served. *)
+val next : t -> (Fifo.t * Bfc_net.Packet.t) option
+
+(** Number of active queues: non-empty and not paused (the paper's
+    N_active, used for the pause threshold Th). *)
+val n_active : t -> int
+
+(** Non-empty queue count regardless of pauses. *)
+val n_backlogged : t -> int
+
+(** Iterate non-empty queues. *)
+val iter_backlogged : t -> (Fifo.t -> unit) -> unit

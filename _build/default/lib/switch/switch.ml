@@ -1,0 +1,343 @@
+module Packet = Bfc_net.Packet
+module Port = Bfc_net.Port
+module Node = Bfc_net.Node
+module Sim = Bfc_engine.Sim
+
+type ecn_config = { kmin : int; kmax : int; pmax : float }
+
+type pfc_config = { threshold_frac : float; resume_frac : float }
+
+type config = {
+  queues_per_port : int;
+  classes : int;
+  policy : Sched.policy;
+  buffer_bytes : int;
+  dt_alpha : float;
+  ecn : ecn_config option;
+  pfc : pfc_config option;
+  int_stamping : bool;
+  track_active_flows : bool;
+  mtu : int;
+}
+
+let default_config =
+  {
+    queues_per_port = 32;
+    classes = 1;
+    policy = Sched.Drr;
+    buffer_bytes = 12_000_000;
+    dt_alpha = 1.0;
+    ecn = None;
+    pfc = None;
+    int_stamping = false;
+    track_active_flows = false;
+    mtu = 1000;
+  }
+
+type egress = {
+  eidx : int;
+  eport : Port.t;
+  equeues : Fifo.t array;
+  esched : Sched.t;
+  mutable ebytes : int;
+  mutable epfc_paused : bool;
+  mutable epfc_since : Bfc_engine.Time.t;
+  mutable epfc_total : int;
+  eflows : (int, int ref) Hashtbl.t; (* flow id -> queued pkts, if tracking *)
+}
+
+type t = {
+  sim : Sim.t;
+  node : Node.t;
+  cfg : config;
+  route : route_fn;
+  egresses : egress array;
+  buffer : Buffer.t;
+  hk : hooks;
+  mutable pfc_sent : bool array; (* per ingress: pause frame outstanding *)
+  mutable drops : int;
+  mutable data_drops : int;
+  mutable tx_packets : int;
+  mutable rx_packets : int;
+  max_hrtt : Bfc_engine.Time.t;
+  rng : Bfc_util.Rng.t;
+}
+
+and route_fn = t -> in_port:int -> Packet.t -> int
+
+and hooks = {
+  mutable classify : t -> in_port:int -> egress:int -> Packet.t -> int;
+  mutable on_enqueue : t -> in_port:int -> egress:int -> queue:int -> Packet.t -> unit;
+  mutable on_dequeue : t -> egress:int -> queue:int -> Packet.t -> unit;
+  mutable on_drop : t -> in_port:int -> egress:int -> queue:int -> Packet.t -> unit;
+  mutable on_ctrl : t -> in_port:int -> Packet.t -> bool;
+  mutable on_pkt_departed : t -> egress:int -> Packet.t -> delay:int -> unit;
+  mutable admit : t -> egress:int -> queue:int -> Packet.t -> bool;
+}
+
+let nop_classify _ ~in_port:_ ~egress:_ pkt =
+  (* Default: one FIFO per class. *)
+  pkt.Packet.prio
+
+let default_hooks () =
+  {
+    classify = nop_classify;
+    on_enqueue = (fun _ ~in_port:_ ~egress:_ ~queue:_ _ -> ());
+    on_dequeue = (fun _ ~egress:_ ~queue:_ _ -> ());
+    on_drop = (fun _ ~in_port:_ ~egress:_ ~queue:_ _ -> ());
+    on_ctrl = (fun _ ~in_port:_ _ -> false);
+    on_pkt_departed = (fun _ ~egress:_ _ ~delay:_ -> ());
+    admit = (fun _ ~egress:_ ~queue:_ _ -> true);
+  }
+
+let hooks t = t.hk
+
+let config t = t.cfg
+
+let node_id t = t.node.Node.id
+
+let sim t = t.sim
+
+let n_ports t = Array.length t.egresses
+
+let port t i = t.egresses.(i).eport
+
+let queue t ~egress ~queue = t.egresses.(egress).equeues.(queue)
+
+let queues t ~egress = t.egresses.(egress).equeues
+
+let n_active t ~egress = Sched.n_active t.egresses.(egress).esched
+
+let egress_bytes t ~egress = t.egresses.(egress).ebytes
+
+let buffer t = t.buffer
+
+let buffer_used t = Buffer.used t.buffer
+
+let drops t = t.drops
+
+let data_drops t = t.data_drops
+
+let tx_packets t = t.tx_packets
+
+let rx_packets t = t.rx_packets
+
+let max_hop_rtt t = t.max_hrtt
+
+let pfc_paused t ~egress = t.egresses.(egress).epfc_paused
+
+let pfc_paused_ns t ~egress =
+  let e = t.egresses.(egress) in
+  e.epfc_total + if e.epfc_paused then Sim.now t.sim - e.epfc_since else 0
+
+let active_flows t ~egress = Hashtbl.length t.egresses.(egress).eflows
+
+let send_ctrl t ~egress pkt = Port.send_ctrl t.egresses.(egress).eport pkt
+
+(* ------------------------------------------------------------------ *)
+(* Transmit path                                                       *)
+
+let flow_track_add e pkt =
+  match pkt.Packet.flow with
+  | None -> ()
+  | Some f -> (
+    let id = f.Bfc_net.Flow.id in
+    match Hashtbl.find_opt e.eflows id with
+    | Some r -> incr r
+    | None -> Hashtbl.add e.eflows id (ref 1))
+
+let flow_track_remove e pkt =
+  match pkt.Packet.flow with
+  | None -> ()
+  | Some f -> (
+    let id = f.Bfc_net.Flow.id in
+    match Hashtbl.find_opt e.eflows id with
+    | Some r ->
+      decr r;
+      if !r <= 0 then Hashtbl.remove e.eflows id
+    | None -> ())
+
+let pfc_check_resume t in_port =
+  match t.cfg.pfc with
+  | None -> ()
+  | Some pfc ->
+    if t.pfc_sent.(in_port) then begin
+      let threshold = pfc.threshold_frac *. float_of_int (Buffer.free t.buffer) in
+      if float_of_int (Buffer.ingress_used t.buffer in_port) < pfc.resume_frac *. threshold
+      then begin
+        t.pfc_sent.(in_port) <- false;
+        let pkt =
+          Packet.make Packet.Pfc ~src:t.node.Node.id ~dst:(-1) ~size:Packet.ctrl_bytes ()
+        in
+        pkt.Packet.ctrl_b <- 0;
+        send_ctrl t ~egress:in_port pkt
+      end
+    end
+
+let try_send t e =
+  if (not (Port.busy e.eport)) && not e.epfc_paused then begin
+    match Sched.next e.esched with
+    | None -> ()
+    | Some (q, pkt) ->
+      e.ebytes <- e.ebytes - pkt.Packet.size;
+      let delay = Sim.now t.sim - pkt.Packet.enq_at in
+      pkt.Packet.q_delay <- pkt.Packet.q_delay + delay;
+      pkt.Packet.hop_cnt <- pkt.Packet.hop_cnt + 1;
+      Buffer.on_dequeue t.buffer ~in_port:pkt.Packet.bp_in_port ~size:pkt.Packet.size;
+      if pkt.Packet.bp_in_port >= 0 then pfc_check_resume t pkt.Packet.bp_in_port;
+      if t.cfg.track_active_flows then flow_track_remove e pkt;
+      t.hk.on_dequeue t ~egress:e.eidx ~queue:q.Fifo.idx pkt;
+      t.hk.on_pkt_departed t ~egress:e.eidx pkt ~delay;
+      if t.cfg.int_stamping && pkt.Packet.kind = Packet.Data then begin
+        let hop =
+          {
+            Packet.h_ts = Sim.now t.sim;
+            h_tx_bytes = Port.tx_bytes e.eport + pkt.Packet.size;
+            h_qlen = e.ebytes;
+            h_gbps = Port.gbps e.eport;
+            h_link = Port.gid e.eport;
+          }
+        in
+        pkt.Packet.int_hops <- hop :: pkt.Packet.int_hops
+      end;
+      t.tx_packets <- t.tx_packets + 1;
+      Port.send e.eport pkt;
+      (* If serialization finished instantly this would loop; it cannot
+         (tx time >= 1 ns), so the next packet goes out on the idle
+         callback. *)
+      ()
+  end
+
+let kick t ~egress = try_send t t.egresses.(egress)
+
+let set_queue_paused t ~egress ~queue paused =
+  let e = t.egresses.(egress) in
+  Sched.set_paused e.esched e.equeues.(queue) paused;
+  if not paused then try_send t e
+
+(* ------------------------------------------------------------------ *)
+(* Receive path                                                        *)
+
+let ecn_mark t q pkt =
+  match t.cfg.ecn with
+  | None -> ()
+  | Some { kmin; kmax; pmax } ->
+    if pkt.Packet.kind = Packet.Data then begin
+      let b = q.Fifo.bytes in
+      if b > kmax then pkt.Packet.ecn <- true
+      else if b > kmin then begin
+        let p = pmax *. float_of_int (b - kmin) /. float_of_int (kmax - kmin) in
+        if Bfc_util.Rng.float t.rng < p then pkt.Packet.ecn <- true
+      end
+    end
+
+let pfc_check_pause t in_port =
+  match t.cfg.pfc with
+  | None -> ()
+  | Some pfc ->
+    if not t.pfc_sent.(in_port) then begin
+      let threshold = pfc.threshold_frac *. float_of_int (Buffer.free t.buffer) in
+      if float_of_int (Buffer.ingress_used t.buffer in_port) > threshold then begin
+        t.pfc_sent.(in_port) <- true;
+        let pkt =
+          Packet.make Packet.Pfc ~src:t.node.Node.id ~dst:(-1) ~size:Packet.ctrl_bytes ()
+        in
+        pkt.Packet.ctrl_b <- 1;
+        send_ctrl t ~egress:in_port pkt
+      end
+    end
+
+let handle_pfc t ~in_port pkt =
+  let e = t.egresses.(in_port) in
+  let pause = pkt.Packet.ctrl_b = 1 in
+  if pause && not e.epfc_paused then begin
+    e.epfc_paused <- true;
+    e.epfc_since <- Sim.now t.sim
+  end
+  else if (not pause) && e.epfc_paused then begin
+    e.epfc_paused <- false;
+    e.epfc_total <- e.epfc_total + (Sim.now t.sim - e.epfc_since);
+    try_send t e
+  end
+
+let forward t ~in_port pkt =
+  let egress = t.route t ~in_port pkt in
+  let e = t.egresses.(egress) in
+  let qidx = t.hk.classify t ~in_port ~egress pkt in
+  let q = e.equeues.(qidx) in
+  if
+    (not (Buffer.admit t.buffer ~queue_bytes:q.Fifo.bytes ~size:pkt.Packet.size))
+    || not (t.hk.admit t ~egress ~queue:qidx pkt)
+  then begin
+    t.drops <- t.drops + 1;
+    if pkt.Packet.kind = Packet.Data then t.data_drops <- t.data_drops + 1;
+    t.hk.on_drop t ~in_port ~egress ~queue:qidx pkt
+  end
+  else begin
+    ecn_mark t q pkt;
+    pkt.Packet.bp_in_port <- in_port;
+    pkt.Packet.enq_at <- Sim.now t.sim;
+    Buffer.on_enqueue t.buffer ~in_port ~size:pkt.Packet.size;
+    e.ebytes <- e.ebytes + pkt.Packet.size;
+    if t.cfg.track_active_flows then flow_track_add e pkt;
+    Sched.push e.esched q pkt;
+    t.hk.on_enqueue t ~in_port ~egress ~queue:qidx pkt;
+    pfc_check_pause t in_port;
+    try_send t e
+  end
+
+let receive t ~in_port pkt =
+  t.rx_packets <- t.rx_packets + 1;
+  match pkt.Packet.kind with
+  | Packet.Pfc -> handle_pfc t ~in_port pkt
+  | Packet.Pause | Packet.Resume | Packet.Pause_bitmap | Packet.Hop_credit ->
+    if not (t.hk.on_ctrl t ~in_port pkt) then ()
+  | Packet.Data | Packet.Ack | Packet.Nack | Packet.Credit | Packet.Credit_req | Packet.Grant
+  | Packet.Cnp ->
+    forward t ~in_port pkt
+
+let create ~sim ~node ~ports ~config:cfg ~route =
+  let n_ingress = Array.length ports in
+  let quantum = cfg.mtu + Packet.header_bytes in
+  let egresses =
+    Array.mapi
+      (fun i p ->
+        let equeues =
+          Array.init cfg.queues_per_port (fun qi ->
+              Fifo.create ~idx:qi ~cls:(qi * cfg.classes / cfg.queues_per_port))
+        in
+        {
+          eidx = i;
+          eport = p;
+          equeues;
+          esched = Sched.create cfg.policy ~queues:equeues ~classes:cfg.classes ~quantum;
+          ebytes = 0;
+          epfc_paused = false;
+          epfc_since = 0;
+          epfc_total = 0;
+          eflows = Hashtbl.create 64;
+        })
+      ports
+  in
+  let max_hrtt = Array.fold_left (fun acc p -> max acc (Port.hop_rtt p)) 0 ports in
+  let t =
+    {
+      sim;
+      node;
+      cfg;
+      route;
+      egresses;
+      buffer = Buffer.create ~total:cfg.buffer_bytes ~alpha:cfg.dt_alpha ~n_ingress;
+      hk = default_hooks ();
+      pfc_sent = Array.make n_ingress false;
+      drops = 0;
+      data_drops = 0;
+      tx_packets = 0;
+      rx_packets = 0;
+      max_hrtt;
+      rng = Bfc_util.Rng.create (0x5EED + node.Node.id);
+    }
+  in
+  Array.iter (fun e -> Port.set_on_idle e.eport (fun () -> try_send t e)) egresses;
+  node.Node.handler <- (fun ~in_port pkt -> receive t ~in_port pkt);
+  t

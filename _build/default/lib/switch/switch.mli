@@ -1,0 +1,122 @@
+(** The switch: routing, shared buffer, per-port queue arrays, scheduler,
+    ECN, PFC, INT, and dataplane hooks.
+
+    The switch is deliberately "programmable": protocol-specific dataplane
+    behaviour (BFC's flow table and pause counters, Ideal-FQ's per-flow
+    queues, Homa's priority mapping) attaches through [hooks], mirroring how
+    BFC is a P4 program over a fixed switch architecture (§3.1). *)
+
+type ecn_config = { kmin : int; kmax : int; pmax : float }
+
+type pfc_config = {
+  threshold_frac : float;
+      (** pause an ingress when its buffered bytes exceed this fraction of
+          the free buffer (HPCC setting: 0.11) *)
+  resume_frac : float; (** resume below [resume_frac x threshold] *)
+}
+
+type config = {
+  queues_per_port : int;
+  classes : int; (** traffic classes; queues are evenly partitioned *)
+  policy : Sched.policy;
+  buffer_bytes : int; (** [max_int] = infinite (Ideal-FQ) *)
+  dt_alpha : float; (** dynamic-threshold alpha for admission *)
+  ecn : ecn_config option;
+  pfc : pfc_config option;
+  int_stamping : bool; (** append HPCC INT telemetry on dequeue *)
+  track_active_flows : bool; (** maintain per-egress distinct-flow counts *)
+  mtu : int; (** DRR quantum = mtu + header *)
+}
+
+val default_config : config
+
+type t
+
+(** Routing decision: local egress port for a packet. *)
+type route_fn = t -> in_port:int -> Bfc_net.Packet.t -> int
+
+type hooks = {
+  mutable classify : t -> in_port:int -> egress:int -> Bfc_net.Packet.t -> int;
+      (** queue index at the egress; may update dataplane state *)
+  mutable on_enqueue : t -> in_port:int -> egress:int -> queue:int -> Bfc_net.Packet.t -> unit;
+  mutable on_dequeue : t -> egress:int -> queue:int -> Bfc_net.Packet.t -> unit;
+  mutable on_drop : t -> in_port:int -> egress:int -> queue:int -> Bfc_net.Packet.t -> unit;
+  mutable on_ctrl : t -> in_port:int -> Bfc_net.Packet.t -> bool;
+      (** BFC pause/resume/bitmap handler; return [true] if consumed *)
+  mutable on_pkt_departed : t -> egress:int -> Bfc_net.Packet.t -> delay:int -> unit;
+      (** metrics tap: queuing delay of each departing packet at this hop *)
+  mutable admit : t -> egress:int -> queue:int -> Bfc_net.Packet.t -> bool;
+      (** extra admission check ANDed with the buffer model (e.g.
+          ExpressPass's 16-credit queue cap) *)
+}
+
+(** [create ~sim ~node ~config ~route] attaches a switch device to [node].
+    [route] typically wraps {!Bfc_net.Topology.ecmp_port}. *)
+val create :
+  sim:Bfc_engine.Sim.t -> node:Bfc_net.Node.t -> ports:Bfc_net.Port.t array -> config:config -> route:route_fn -> t
+
+val hooks : t -> hooks
+
+val config : t -> config
+
+val node_id : t -> int
+
+val sim : t -> Bfc_engine.Sim.t
+
+val n_ports : t -> int
+
+val port : t -> int -> Bfc_net.Port.t
+
+(** {2 Dataplane services for hooks} *)
+
+(** Queue [queue] of egress [egress]. *)
+val queue : t -> egress:int -> queue:int -> Fifo.t
+
+(** Queues of one egress. *)
+val queues : t -> egress:int -> Fifo.t array
+
+(** Pause/resume a queue (BFC backpressure reacting side). *)
+val set_queue_paused : t -> egress:int -> queue:int -> bool -> unit
+
+(** Number of active queues at an egress (non-empty, not paused):
+    the paper's N_active. *)
+val n_active : t -> egress:int -> int
+
+(** Bytes queued at an egress (all queues). *)
+val egress_bytes : t -> egress:int -> int
+
+(** Send a control packet out of [egress] (towards the device whose
+    packets arrive on the paired ingress), bypassing data queues. *)
+val send_ctrl : t -> egress:int -> Bfc_net.Packet.t -> unit
+
+(** Largest 1-hop RTT among this switch's ports (used for Th, §3.3.2). *)
+val max_hop_rtt : t -> Bfc_engine.Time.t
+
+(** {2 Introspection / metrics} *)
+
+val buffer : t -> Buffer.t
+
+val buffer_used : t -> int
+
+val drops : t -> int
+
+(** Dropped Data packets only (ExpressPass drops credits by design). *)
+val data_drops : t -> int
+
+val tx_packets : t -> int
+
+val rx_packets : t -> int
+
+(** Cumulative time (ns) egress [egress] has spent PFC-paused. *)
+val pfc_paused_ns : t -> egress:int -> int
+
+(** Is this egress currently PFC-paused? *)
+val pfc_paused : t -> egress:int -> bool
+
+(** Distinct flows with >= 1 packet queued at the egress
+    (requires [track_active_flows]). *)
+val active_flows : t -> egress:int -> int
+
+(** Force the transmit loop of an egress to re-examine its queues (used
+    after resume events originating outside the switch). *)
+val kick : t -> egress:int -> unit

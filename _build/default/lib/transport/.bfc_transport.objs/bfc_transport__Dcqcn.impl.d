@@ -1,0 +1,1 @@
+lib/transport/dcqcn.ml: Bfc_engine Float Option

@@ -1,0 +1,1 @@
+lib/transport/dcqcn.mli: Bfc_engine

@@ -1,0 +1,1 @@
+lib/transport/delay_cc.ml:

@@ -1,0 +1,1 @@
+lib/transport/delay_cc.mli: Bfc_engine

@@ -1,0 +1,1 @@
+lib/transport/homa.ml: Array Bfc_net Bfc_util Bfc_workload Float Hashtbl List

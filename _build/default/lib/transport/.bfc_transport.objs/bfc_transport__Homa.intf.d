@@ -1,0 +1,1 @@
+lib/transport/homa.mli: Bfc_net Bfc_workload

@@ -1,0 +1,1 @@
+lib/transport/host.ml: Array Bfc_engine Bfc_net Bfc_switch Bfc_util Dcqcn Dctcp Delay_cc Float Hashtbl Homa Hpcc List Nic Swift Timely

@@ -1,0 +1,1 @@
+lib/transport/host.mli: Bfc_engine Bfc_net Bfc_switch Dcqcn Homa Nic

@@ -1,0 +1,1 @@
+lib/transport/hpcc.ml: Bfc_engine Bfc_net Hashtbl List

@@ -1,0 +1,1 @@
+lib/transport/hpcc.mli: Bfc_engine Bfc_net

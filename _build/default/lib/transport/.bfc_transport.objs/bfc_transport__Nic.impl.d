@@ -1,0 +1,1 @@
+lib/transport/nic.ml: Array Bfc_core Bfc_engine Bfc_net Bfc_switch Option

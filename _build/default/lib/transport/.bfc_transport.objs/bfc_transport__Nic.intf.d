@@ -1,0 +1,1 @@
+lib/transport/nic.mli: Bfc_engine Bfc_net Bfc_switch

@@ -1,0 +1,1 @@
+lib/transport/swift.ml: Bfc_engine Float

@@ -1,0 +1,1 @@
+lib/transport/swift.mli: Bfc_engine

@@ -1,0 +1,1 @@
+lib/transport/timely.ml: Bfc_engine Float

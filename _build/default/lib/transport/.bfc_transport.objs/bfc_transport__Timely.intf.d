@@ -1,0 +1,1 @@
+lib/transport/timely.mli: Bfc_engine

@@ -1,0 +1,1 @@
+lib/transport/xpass_switch.ml: Array Bfc_engine Bfc_net Bfc_switch

@@ -1,0 +1,1 @@
+lib/transport/xpass_switch.mli: Bfc_switch

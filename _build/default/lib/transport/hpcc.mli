@@ -1,0 +1,26 @@
+(** HPCC sender state (Li et al., SIGCOMM 2019).
+
+    Window-based control driven by per-hop INT telemetry echoed in ACKs:
+    the sender estimates the most-utilized link's inflight ratio U and sets
+    W = W_c / (U / eta) + W_AI multiplicatively (at most once per RTT via
+    the reference window W_c), with up to [max_stage] additive steps in
+    between. *)
+
+type t
+
+val create :
+  eta:float ->
+  max_stage:int ->
+  w_ai:float ->
+  bdp:int ->
+  base_rtt:Bfc_engine.Time.t ->
+  t
+
+(** [on_ack t ~hops ~ack_seq ~snd_nxt] — [hops] is the INT stack echoed in
+    the ACK. *)
+val on_ack : t -> hops:Bfc_net.Packet.int_hop list -> ack_seq:int -> snd_nxt:int -> unit
+
+val window : t -> int
+
+(** Most recent utilization estimate (diagnostics). *)
+val last_u : t -> float

@@ -1,0 +1,141 @@
+module Packet = Bfc_net.Packet
+module Port = Bfc_net.Port
+module Fifo = Bfc_switch.Fifo
+module Sched = Bfc_switch.Sched
+
+module Balance = Bfc_core.Credit_dataplane.Balance
+
+type t = {
+  sim : Bfc_engine.Sim.t;
+  port : Port.t;
+  queues : Fifo.t array;
+  sched : Sched.t;
+  respect_pause : bool;
+  mutable pfc_paused : bool;
+  occupants : int array;
+  mutable rr : int;
+  mutable on_dequeue : int -> unit;
+  mutable backlog : int;
+  credit : Balance.b option; (* lossless-BFC variant: gate data queues *)
+}
+
+let rec create ~sim ~port ~n_queues ~policy ~respect_pause ?credit () =
+  if n_queues < 2 then invalid_arg "Nic.create: need >= 2 queues";
+  let queues = Array.init n_queues (fun idx -> Fifo.create ~idx ~cls:0) in
+  let quantum = 1100 + Packet.header_bytes in
+  let t =
+    {
+      sim;
+      port;
+      queues;
+      sched = Sched.create policy ~queues ~classes:1 ~quantum;
+      respect_pause;
+      pfc_paused = false;
+      occupants = Array.make n_queues 0;
+      rr = 1;
+      on_dequeue = ignore;
+      backlog = 0;
+      credit = Option.map (fun initial -> Balance.create ~queues:n_queues ~initial) credit;
+    }
+  in
+  Port.set_on_idle port (fun () -> try_send t);
+  t
+
+and try_send t =
+  if (not (Port.busy t.port)) && not t.pfc_paused then begin
+    match Sched.next t.sched with
+    | None -> ()
+    | Some (q, pkt) ->
+      t.backlog <- t.backlog - pkt.Packet.size;
+      if pkt.Packet.kind = Packet.Data then begin
+        pkt.Packet.upstream_q <- q.Fifo.idx;
+        match t.credit with
+        | Some b when q.Fifo.idx > 0 ->
+          let next = match Fifo.peek q with None -> 0 | Some p -> p.Packet.size in
+          if Balance.consume b ~queue:q.Fifo.idx ~bytes:pkt.Packet.size ~next then
+            Sched.set_paused t.sched q true
+        | _ -> ()
+      end;
+      pkt.Packet.sent_at <- Bfc_engine.Sim.now t.sim;
+      Port.send t.port pkt;
+      t.on_dequeue q.Fifo.idx
+  end
+
+let n_queues t = Array.length t.queues
+
+let alloc_queue t =
+  let n = Array.length t.queues in
+  (* first unoccupied data queue starting from the rotation point *)
+  let rec scan i remaining =
+    if remaining = 0 then None
+    else begin
+      let i = if i >= n then 1 else i in
+      if t.occupants.(i) = 0 then Some i else scan (i + 1) (remaining - 1)
+    end
+  in
+  let q =
+    match scan t.rr (n - 1) with
+    | Some q -> q
+    | None ->
+      (* all occupied: share round-robin *)
+      let q = 1 + ((t.rr - 1) mod (n - 1)) in
+      q
+  in
+  t.rr <- (if q + 1 >= n then 1 else q + 1);
+  t.occupants.(q) <- t.occupants.(q) + 1;
+  q
+
+let release_queue t q = if q >= 1 && q < Array.length t.queues then t.occupants.(q) <- max 0 (t.occupants.(q) - 1)
+
+let submit t ~queue pkt =
+  let q = t.queues.(queue) in
+  Sched.push t.sched q pkt;
+  t.backlog <- t.backlog + pkt.Packet.size;
+  (* credit gating: a starved queue stays paused until replenished *)
+  (match t.credit with
+  | Some b when queue > 0 && pkt.Packet.kind = Packet.Data ->
+    let next = match Fifo.peek q with None -> 0 | Some p -> p.Packet.size in
+    if next > 0 && Balance.get b ~queue < next then Sched.set_paused t.sched q true
+  | _ -> ());
+  try_send t
+
+let submit_ctrl t pkt = submit t ~queue:0 pkt
+
+let queue_bytes t ~queue = t.queues.(queue).Fifo.bytes
+
+let queue_paused t ~queue = t.queues.(queue).Fifo.paused
+
+let backlog t = t.backlog
+
+let set_on_dequeue t f = t.on_dequeue <- f
+
+let on_ctrl t pkt =
+  match pkt.Packet.kind with
+  | Packet.Pfc ->
+    let pause = pkt.Packet.ctrl_b = 1 in
+    if t.pfc_paused && not pause then begin
+      t.pfc_paused <- false;
+      try_send t
+    end
+    else if pause then t.pfc_paused <- true
+  | Packet.Pause | Packet.Resume | Packet.Pause_bitmap ->
+    if t.respect_pause then
+      Bfc_core.Dataplane.apply_ctrl
+        ~set_paused:(fun ~queue paused ->
+          Sched.set_paused t.sched t.queues.(queue) paused;
+          if not paused then try_send t)
+        ~n_queues:(Array.length t.queues) pkt
+  | Packet.Hop_credit -> (
+    match t.credit with
+    | Some b ->
+      let queue = pkt.Packet.ctrl_a in
+      if queue > 0 && queue < Array.length t.queues then begin
+        let q = t.queues.(queue) in
+        let next = match Fifo.peek q with None -> 0 | Some p -> p.Packet.size in
+        if Balance.replenish b ~queue ~bytes:pkt.Packet.ctrl_b ~next then begin
+          Sched.set_paused t.sched q false;
+          try_send t
+        end
+      end
+    | None -> ())
+  | _ -> ()

@@ -1,0 +1,54 @@
+(** The host NIC: the first "upstream device" of the network.
+
+    Mirrors a switch egress: an array of FIFO queues, a scheduler
+    (DRR / SRF / strict priority), per-queue pause (BFC's backpressure
+    reaches down to the NIC), and PFC pause of the whole uplink. On the
+    wire, data packets carry the NIC queue index in [upstreamQ] so the ToR
+    can pause precisely (§3.3.2).
+
+    Queue 0 is reserved for end-to-end control (ACKs, NACKs, grants,
+    credits) — highest priority under strict-priority scheduling; data
+    queues are [1, n). *)
+
+type t
+
+(** [credit] enables the lossless-BFC variant: data queues are gated by
+    hop credits returned by the ToR ([Hop_credit] packets), starting from
+    the given per-queue byte balance. *)
+val create :
+  sim:Bfc_engine.Sim.t ->
+  port:Bfc_net.Port.t ->
+  n_queues:int ->
+  policy:Bfc_switch.Sched.policy ->
+  respect_pause:bool ->
+  ?credit:int ->
+  unit ->
+  t
+
+val n_queues : t -> int
+
+(** Allocate a data queue for a flow: an unoccupied queue if one exists
+    (dynamic assignment, like the switch), else round-robin sharing. *)
+val alloc_queue : t -> int
+
+val release_queue : t -> int -> unit
+
+(** Enqueue a packet on a specific queue and kick the transmitter. *)
+val submit : t -> queue:int -> Bfc_net.Packet.t -> unit
+
+(** Enqueue on the reserved control queue. *)
+val submit_ctrl : t -> Bfc_net.Packet.t -> unit
+
+val queue_bytes : t -> queue:int -> int
+
+val queue_paused : t -> queue:int -> bool
+
+(** Total bytes queued in the NIC. *)
+val backlog : t -> int
+
+(** Handle Pause / Resume / Pause-bitmap / PFC addressed to this NIC. *)
+val on_ctrl : t -> Bfc_net.Packet.t -> unit
+
+(** [set_on_dequeue t f] — [f queue] runs after each packet leaves the NIC
+    (drives window/line-rate refill). *)
+val set_on_dequeue : t -> (int -> unit) -> unit

@@ -1,0 +1,15 @@
+(** Swift (Kumar et al., SIGCOMM 2020) — simplified sender state.
+
+    Delay-based, window-controlled: per ACK, compare the RTT sample to a
+    target delay (base RTT plus a per-hop allowance); additively increase
+    below target, multiplicatively decrease (at most once per RTT) above
+    it. One of the "deployed algorithms" the paper's §2 motivates against. *)
+
+type t
+
+val create :
+  mtu:int -> bdp:int -> base_rtt:Bfc_engine.Time.t -> target_mult:float -> beta:float -> t
+
+val on_ack : t -> rtt:Bfc_engine.Time.t -> now:Bfc_engine.Time.t -> unit
+
+val window : t -> int

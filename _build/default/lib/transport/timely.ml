@@ -1,0 +1,59 @@
+type t = {
+  line : float; (* bytes/ns *)
+  base_rtt : Bfc_engine.Time.t;
+  t_low : Bfc_engine.Time.t;
+  t_high : Bfc_engine.Time.t;
+  delta : float; (* additive step, bytes/ns *)
+  beta : float;
+  alpha : float; (* gradient EWMA gain *)
+  mutable r : float;
+  mutable prev_rtt : Bfc_engine.Time.t;
+  mutable grad : float;
+  mutable hai : int; (* consecutive gradient increases => hyperactive step *)
+}
+
+let create ~line_gbps ~base_rtt ~t_low ~t_high =
+  let line = line_gbps /. 8.0 in
+  {
+    line;
+    base_rtt;
+    t_low;
+    t_high;
+    delta = line /. 100.0;
+    beta = 0.8;
+    alpha = 0.875;
+    r = line;
+    prev_rtt = base_rtt;
+    grad = 0.0;
+    hai = 0;
+  }
+
+let clamp t = t.r <- Float.min t.line (Float.max (t.line /. 1000.0) t.r)
+
+let on_ack t ~rtt =
+  if rtt > 0 then begin
+    let diff = float_of_int (rtt - t.prev_rtt) in
+    t.prev_rtt <- rtt;
+    let norm = diff /. float_of_int t.base_rtt in
+    t.grad <- (t.alpha *. t.grad) +. ((1.0 -. t.alpha) *. norm);
+    if rtt < t.t_low then begin
+      t.hai <- 0;
+      t.r <- t.r +. t.delta
+    end
+    else if rtt > t.t_high then begin
+      t.hai <- 0;
+      t.r <- t.r *. (1.0 -. (t.beta *. (1.0 -. (float_of_int t.t_high /. float_of_int rtt))))
+    end
+    else if t.grad <= 0.0 then begin
+      t.hai <- t.hai + 1;
+      let n = if t.hai >= 5 then 5.0 else 1.0 in
+      t.r <- t.r +. (n *. t.delta)
+    end
+    else begin
+      t.hai <- 0;
+      t.r <- t.r *. (1.0 -. (t.beta *. Float.min 1.0 t.grad))
+    end;
+    clamp t
+  end
+
+let rate t = t.r

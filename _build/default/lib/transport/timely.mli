@@ -1,0 +1,20 @@
+(** TIMELY (Mittal et al., SIGCOMM 2015) — simplified sender state.
+
+    Rate-based control on the RTT *gradient*: below [t_low] increase
+    additively; above [t_high] decrease multiplicatively; in between,
+    increase when the smoothed gradient is non-positive and decrease
+    proportionally to it otherwise. *)
+
+type t
+
+val create :
+  line_gbps:float ->
+  base_rtt:Bfc_engine.Time.t ->
+  t_low:Bfc_engine.Time.t ->
+  t_high:Bfc_engine.Time.t ->
+  t
+
+val on_ack : t -> rtt:Bfc_engine.Time.t -> unit
+
+(** Current sending rate, bytes per ns. *)
+val rate : t -> float

@@ -1,0 +1,55 @@
+module Packet = Bfc_net.Packet
+module Switch = Bfc_switch.Switch
+module Sim = Bfc_engine.Sim
+
+let credit_cap = 16
+
+let attach sw ~mtu_wire =
+  let cfg = Switch.config sw in
+  let credit_q = cfg.Switch.queues_per_port - 1 in
+  let sim = Switch.sim sw in
+  let n = Switch.n_ports sw in
+  let next_ok = Array.make n 0 in
+  let hk = Switch.hooks sw in
+  hk.Switch.classify <-
+    (fun _ ~in_port:_ ~egress:_ pkt ->
+      match pkt.Packet.kind with
+      | Packet.Credit -> credit_q
+      | _ -> min pkt.Packet.prio (credit_q - 1));
+  hk.Switch.admit <-
+    (fun sw ~egress ~queue pkt ->
+      match pkt.Packet.kind with
+      | Packet.Credit ->
+        let q = Switch.queue sw ~egress ~queue in
+        Bfc_switch.Fifo.length q < credit_cap
+      | _ -> true);
+  (* A resume is stale if a later transmission slot was armed after it was
+     scheduled; only the freshest resume may unpause. *)
+  let resume_at sw egress time =
+    ignore
+      (Sim.at sim time (fun () ->
+           if Sim.now sim >= next_ok.(egress) then
+             Switch.set_queue_paused sw ~egress ~queue:credit_q false))
+  in
+  hk.Switch.on_enqueue <-
+    (fun sw ~in_port:_ ~egress ~queue pkt ->
+      (* Enforce the shaping gap: if the credit queue must wait, pause it
+         until its next transmission slot. *)
+      if pkt.Packet.kind = Packet.Credit && queue = credit_q then begin
+        let now = Sim.now sim in
+        if now < next_ok.(egress) then begin
+          Switch.set_queue_paused sw ~egress ~queue:credit_q true;
+          resume_at sw egress next_ok.(egress)
+        end
+      end);
+  hk.Switch.on_dequeue <-
+    (fun sw ~egress ~queue pkt ->
+      if pkt.Packet.kind = Packet.Credit && queue = credit_q then begin
+        let port = Switch.port sw egress in
+        let interval =
+          Bfc_engine.Time.tx_time ~gbps:(Bfc_net.Port.gbps port) ~bytes:mtu_wire
+        in
+        next_ok.(egress) <- Sim.now sim + interval;
+        Switch.set_queue_paused sw ~egress ~queue:credit_q true;
+        resume_at sw egress next_ok.(egress)
+      end)

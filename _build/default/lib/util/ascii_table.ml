@@ -1,0 +1,36 @@
+let float_cell v =
+  if Float.is_nan v then "-"
+  else if v = 0.0 then "0"
+  else begin
+    let a = Float.abs v in
+    if a >= 1e7 || a < 1e-3 then Printf.sprintf "%.2e" v
+    else if a >= 100.0 then Printf.sprintf "%.1f" v
+    else if a >= 1.0 then Printf.sprintf "%.2f" v
+    else Printf.sprintf "%.4f" v
+  end
+
+let render ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row -> List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row)
+    all;
+  let buf = Buffer.create 1024 in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < cols - 1 then Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  let rule = List.init (List.length header) (fun i -> String.make widths.(i) '-') in
+  emit rule;
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print ~title ~header rows =
+  Printf.printf "\n== %s ==\n%s%!" title (render ~header rows)

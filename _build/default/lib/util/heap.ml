@@ -1,0 +1,83 @@
+type 'a entry = { priority : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let less a b = a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let grow t e =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let nd = Array.make ncap e in
+    Array.blit t.data 0 nd 0 t.size;
+    t.data <- nd
+  end
+
+let push t ~priority value =
+  let e = { priority; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  grow t e;
+  (* Sift up. *)
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  let d = t.data in
+  d.(!i) <- e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less e d.(parent) then begin
+      d.(!i) <- d.(parent);
+      d.(parent) <- e;
+      i := parent
+    end
+    else continue := false
+  done
+
+let sift_down t =
+  let d = t.data in
+  let n = t.size in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < n && less d.(l) d.(!smallest) then smallest := l;
+    if r < n && less d.(r) d.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = d.(!i) in
+      d.(!i) <- d.(!smallest);
+      d.(!smallest) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t
+    end;
+    Some (top.priority, top.value)
+  end
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).priority, t.data.(0).value)
+
+let min_priority t = if t.size = 0 then None else Some t.data.(0).priority
+
+let clear t =
+  t.size <- 0;
+  t.data <- [||]

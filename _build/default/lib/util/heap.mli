@@ -1,0 +1,28 @@
+(** Binary min-heap with integer priorities and stable ordering.
+
+    The event queue of the simulator sits on top of this heap; ties on the
+    priority are broken by insertion order so that simulations are
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push t ~priority v] inserts [v]. Amortized O(log n). *)
+val push : 'a t -> priority:int -> 'a -> unit
+
+(** [pop t] removes and returns the minimum-priority element (FIFO among
+    equal priorities). *)
+val pop : 'a t -> (int * 'a) option
+
+(** [peek t] returns the minimum without removing it. *)
+val peek : 'a t -> (int * 'a) option
+
+(** [min_priority t] is the priority of the minimum element. *)
+val min_priority : 'a t -> int option
+
+val clear : 'a t -> unit

@@ -1,0 +1,46 @@
+type t = { edges : float array; counts : int array; mutable total : int }
+
+let create ~lo ~hi ~bins =
+  if lo <= 0.0 || hi <= lo || bins <= 0 then invalid_arg "Histogram.create";
+  let edges =
+    Array.init (bins + 1) (fun i ->
+        let frac = float_of_int i /. float_of_int bins in
+        lo *. exp (frac *. log (hi /. lo)))
+  in
+  { edges; counts = Array.make bins 0; total = 0 }
+
+let bins t = Array.length t.counts
+
+let bin_of t v =
+  let n = bins t in
+  if v <= t.edges.(0) then 0
+  else if v >= t.edges.(n) then n - 1
+  else begin
+    (* binary search for the bin whose [edge_i, edge_{i+1}) contains v *)
+    let lo = ref 0 and hi = ref n in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if v >= t.edges.(mid) then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let add t v =
+  t.counts.(bin_of t v) <- t.counts.(bin_of t v) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let edges t = Array.copy t.edges
+
+let counts t = Array.copy t.counts
+
+let cumulative t =
+  let n = bins t in
+  let out = Array.make n 0.0 in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + t.counts.(i);
+    out.(i) <- (if t.total = 0 then 0.0 else float_of_int !acc /. float_of_int t.total)
+  done;
+  out

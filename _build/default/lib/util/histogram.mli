@@ -1,0 +1,23 @@
+(** Log-spaced histogram used to bucket flow sizes and latencies. *)
+
+type t
+
+(** [create ~lo ~hi ~bins] builds logarithmically spaced bin edges from [lo]
+    to [hi] (both > 0). Values outside the range clamp to the end bins. *)
+val create : lo:float -> hi:float -> bins:int -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+(** [bin_of t v] is the index of the bin [v] falls into. *)
+val bin_of : t -> float -> int
+
+(** [edges t] is the array of [bins+1] bin edges. *)
+val edges : t -> float array
+
+(** [counts t] is the per-bin count array (length [bins]). *)
+val counts : t -> int array
+
+(** Fraction of mass at or below each bin upper edge. *)
+val cumulative : t -> float array

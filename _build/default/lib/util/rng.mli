@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable generator (splitmix64) used everywhere in the
+    simulator so that experiments are reproducible from a single seed. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+val create : int -> t
+
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each traffic source / switch its own stream so that adding
+    a component does not perturb the others. *)
+val split : t -> t
+
+(** [copy t] duplicates the current state (same future stream). *)
+val copy : t -> t
+
+(** Next raw 64-bit value (as an OCaml [int], so 63 bits retained). *)
+val bits : t -> int
+
+(** [int t n] is uniform in [0, n). Raises [Invalid_argument] if [n <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [exponential t ~mean] samples Exp with the given mean. *)
+val exponential : t -> mean:float -> float
+
+(** [lognormal t ~mu ~sigma] samples exp(N(mu, sigma^2)). *)
+val lognormal : t -> mu:float -> sigma:float -> float
+
+(** [lognormal_mean t ~mean ~sigma] samples a lognormal with expectation
+    [mean] and shape [sigma] (mu derived as ln mean - sigma^2/2). *)
+val lognormal_mean : t -> mean:float -> sigma:float -> float
+
+(** Standard normal via Box–Muller. *)
+val normal : t -> float
+
+(** [shuffle t a] shuffles [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [pick t a] returns a uniformly random element of [a].
+    Raises [Invalid_argument] on an empty array. *)
+val pick : t -> 'a array -> 'a

@@ -1,0 +1,125 @@
+module Sample = struct
+  type t = {
+    mutable data : float array;
+    mutable size : int;
+    mutable sorted : float array option; (* cache invalidated by add *)
+  }
+
+  let create () = { data = [||]; size = 0; sorted = None }
+
+  let add t x =
+    let cap = Array.length t.data in
+    if t.size = cap then begin
+      let ncap = if cap = 0 then 256 else cap * 2 in
+      let nd = Array.make ncap 0.0 in
+      Array.blit t.data 0 nd 0 t.size;
+      t.data <- nd
+    end;
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1;
+    t.sorted <- None
+
+  let count t = t.size
+
+  let is_empty t = t.size = 0
+
+  let sorted t =
+    match t.sorted with
+    | Some s -> s
+    | None ->
+      let s = Array.sub t.data 0 t.size in
+      Array.sort compare s;
+      t.sorted <- Some s;
+      s
+
+  let sum t =
+    let acc = ref 0.0 in
+    for i = 0 to t.size - 1 do
+      acc := !acc +. t.data.(i)
+    done;
+    !acc
+
+  let mean t = if t.size = 0 then nan else sum t /. float_of_int t.size
+
+  let min t =
+    let s = sorted t in
+    if Array.length s = 0 then nan else s.(0)
+
+  let max t =
+    let s = sorted t in
+    let n = Array.length s in
+    if n = 0 then nan else s.(n - 1)
+
+  let stddev t =
+    if t.size < 2 then 0.0
+    else begin
+      let m = mean t in
+      let acc = ref 0.0 in
+      for i = 0 to t.size - 1 do
+        let d = t.data.(i) -. m in
+        acc := !acc +. (d *. d)
+      done;
+      sqrt (!acc /. float_of_int (t.size - 1))
+    end
+
+  let percentile t p =
+    if t.size = 0 then invalid_arg "Stats.Sample.percentile: empty sample";
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.Sample.percentile: p out of range";
+    let s = sorted t in
+    let n = Array.length s in
+    if n = 1 then s.(0)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = Stdlib.min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
+    end
+
+  let cdf t ~points =
+    let s = sorted t in
+    let n = Array.length s in
+    if n = 0 then []
+    else begin
+      let pts = Stdlib.max 2 points in
+      List.init pts (fun i ->
+          let frac = float_of_int i /. float_of_int (pts - 1) in
+          let idx = Stdlib.min (n - 1) (int_of_float (frac *. float_of_int (n - 1))) in
+          (s.(idx), float_of_int (idx + 1) /. float_of_int n))
+    end
+
+  let clear t =
+    t.data <- [||];
+    t.size <- 0;
+    t.sorted <- None
+end
+
+module Running = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable max : float;
+    mutable min : float;
+  }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0; max = neg_infinity; min = infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x > t.max then t.max <- x;
+    if x < t.min then t.min <- x
+
+  let count t = t.n
+
+  let mean t = if t.n = 0 then nan else t.mean
+
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+
+  let max t = t.max
+
+  let min t = t.min
+end

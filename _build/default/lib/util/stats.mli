@@ -1,0 +1,59 @@
+(** Collection and summarisation of samples (FCTs, queue depths, delays).
+
+    [Sample] accumulates float observations and answers percentile / mean
+    queries exactly (sorting on demand, caching the sorted view).
+    [Running] is a constant-memory mean/variance accumulator. *)
+
+module Sample : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val is_empty : t -> bool
+
+  val mean : t -> float
+
+  val min : t -> float
+
+  val max : t -> float
+
+  val sum : t -> float
+
+  val stddev : t -> float
+
+  (** [percentile t p] with [p] in [0,100]; nearest-rank with linear
+      interpolation. Raises [Invalid_argument] if empty or [p] out of
+      range. *)
+  val percentile : t -> float -> float
+
+  (** [cdf t ~points] returns [(value, cumulative_fraction)] pairs at
+      [points] evenly spaced ranks, suitable for plotting a CDF. *)
+  val cdf : t -> points:int -> (float * float) list
+
+  (** All values, sorted ascending (a copy). *)
+  val sorted : t -> float array
+
+  val clear : t -> unit
+end
+
+module Running : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val mean : t -> float
+
+  val variance : t -> float
+
+  val max : t -> float
+
+  val min : t -> float
+end

@@ -1,0 +1,1 @@
+lib/workload/arrivals.ml: Bfc_util Printf

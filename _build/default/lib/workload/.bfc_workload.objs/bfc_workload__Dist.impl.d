@@ -1,0 +1,1 @@
+lib/workload/dist.ml: Array Bfc_util Float List Printf

@@ -1,0 +1,1 @@
+lib/workload/dist.mli: Bfc_util

@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Array Arrivals Bfc_engine Bfc_net Bfc_util Dist Hashtbl List

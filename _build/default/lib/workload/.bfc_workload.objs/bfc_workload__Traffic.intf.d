@@ -1,0 +1,1 @@
+lib/workload/traffic.mli: Arrivals Bfc_engine Bfc_net Dist

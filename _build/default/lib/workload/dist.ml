@@ -1,0 +1,140 @@
+type seg = {
+  s0 : float;
+  s1 : float;
+  c0 : float;
+  c1 : float;
+}
+
+type t = { dname : string; segs : seg array; dmean : float }
+
+let name t = t.dname
+
+let seg_mean s0 s1 = if s1 = s0 then s0 else (s1 -. s0) /. log (s1 /. s0)
+
+let of_points ~name ~min_size pts =
+  if min_size < 1 then invalid_arg "Dist.of_points: min_size";
+  let rec validate prev_s prev_c = function
+    | [] -> ()
+    | (s, c) :: rest ->
+      if s <= prev_s || c < prev_c || c > 1.0 then invalid_arg "Dist.of_points: malformed points";
+      validate s c rest
+  in
+  validate (float_of_int min_size -. 1.0) 0.0 pts;
+  (match List.rev pts with
+  | (_, c) :: _ when abs_float (c -. 1.0) < 1e-9 -> ()
+  | _ -> invalid_arg "Dist.of_points: cdf must end at 1");
+  let xs = Array.of_list (float_of_int min_size :: List.map fst pts) in
+  let cs = Array.of_list (0.0 :: List.map snd pts) in
+  let segs =
+    Array.init (Array.length xs - 1) (fun i ->
+        { s0 = xs.(i); s1 = xs.(i + 1); c0 = cs.(i); c1 = cs.(i + 1) })
+  in
+  let dmean =
+    Array.fold_left (fun acc g -> acc +. ((g.c1 -. g.c0) *. seg_mean g.s0 g.s1)) 0.0 segs
+  in
+  { dname = name; segs; dmean }
+
+let mean t = t.dmean
+
+let sample t rng =
+  let u = Bfc_util.Rng.float rng in
+  (* find the segment containing u; segments are few, linear scan is fine *)
+  let rec find i =
+    if i >= Array.length t.segs - 1 then t.segs.(Array.length t.segs - 1)
+    else if u < t.segs.(i).c1 then t.segs.(i)
+    else find (i + 1)
+  in
+  let g = find 0 in
+  let span = g.c1 -. g.c0 in
+  let frac = if span <= 0.0 then 0.0 else (u -. g.c0) /. span in
+  let s = g.s0 *. exp (frac *. log (g.s1 /. g.s0)) in
+  max 1 (int_of_float (Float.round s))
+
+let cdf t s =
+  if s < t.segs.(0).s0 then 0.0
+  else begin
+    let n = Array.length t.segs in
+    let rec go i =
+      if i >= n then 1.0
+      else begin
+        let g = t.segs.(i) in
+        if s >= g.s1 then go (i + 1)
+        else g.c0 +. ((g.c1 -. g.c0) *. log (s /. g.s0) /. log (g.s1 /. g.s0))
+      end
+    in
+    go 0
+  end
+
+let byte_cdf t s =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun g ->
+      let p = g.c1 -. g.c0 in
+      if s >= g.s1 then acc := !acc +. (p *. seg_mean g.s0 g.s1)
+      else if s > g.s0 then begin
+        let f = log (s /. g.s0) /. log (g.s1 /. g.s0) in
+        acc := !acc +. (p *. f *. seg_mean g.s0 s)
+      end)
+    t.segs;
+  !acc /. t.dmean
+
+let fixed size =
+  if size < 1 then invalid_arg "Dist.fixed";
+  {
+    dname = Printf.sprintf "fixed_%d" size;
+    segs = [| { s0 = float_of_int size; s1 = float_of_int size; c0 = 0.0; c1 = 1.0 } |];
+    dmean = float_of_int size;
+  }
+
+(* Encoded against the Fig. 2 anchors; see DESIGN.md. Byte-weighted CDF at
+   100 KB is ~0.47 for Google ("nearly half of all bytes"); FB_Hadoop is
+   larger-flow (byte mass centred around 1 MB); WebSearch is dominated by
+   multi-MB flows (DCTCP's background traffic). *)
+
+let google =
+  of_points ~name:"google" ~min_size:64
+    [
+      (256., 0.15);
+      (1_000., 0.40);
+      (3_000., 0.70);
+      (10_000., 0.912);
+      (30_000., 0.965);
+      (100_000., 0.989);
+      (300_000., 0.9955);
+      (1_000_000., 0.99917);
+      (3_000_000., 1.0);
+    ]
+
+let fb_hadoop =
+  of_points ~name:"fb_hadoop" ~min_size:200
+    [
+      (1_000., 0.15);
+      (10_000., 0.45);
+      (100_000., 0.784);
+      (300_000., 0.893);
+      (1_000_000., 0.975);
+      (3_000_000., 0.9977);
+      (10_000_000., 1.0);
+    ]
+
+let websearch =
+  of_points ~name:"websearch" ~min_size:1000
+    [
+      (6_000., 0.15);
+      (13_000., 0.20);
+      (19_000., 0.30);
+      (33_000., 0.40);
+      (53_000., 0.53);
+      (133_000., 0.60);
+      (667_000., 0.70);
+      (1_467_000., 0.80);
+      (2_667_000., 0.90);
+      (4_667_000., 0.97);
+      (20_000_000., 1.0);
+    ]
+
+let by_name = function
+  | "google" -> google
+  | "fb_hadoop" -> fb_hadoop
+  | "websearch" -> websearch
+  | s -> invalid_arg (Printf.sprintf "Dist.by_name: unknown workload %S" s)

@@ -1,0 +1,1 @@
+test/test_bfc.ml: Alcotest Array Bfc_core Bfc_engine Bfc_net Bfc_switch Bfc_util Float Format Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Bfc_engine Gen List QCheck QCheck_alcotest

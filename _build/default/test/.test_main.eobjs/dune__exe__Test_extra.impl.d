@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Array Bfc_core Bfc_engine Bfc_net Bfc_sim Bfc_switch Bfc_transport Bfc_util Bfc_workload Filename Format Hashtbl List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_final.ml: Alcotest Array Bfc_core Bfc_engine Bfc_net Bfc_sim Bfc_switch Bfc_transport Bfc_workload Float List QCheck QCheck_alcotest

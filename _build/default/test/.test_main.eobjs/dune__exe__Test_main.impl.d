@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bfc Test_credit Test_engine Test_extra Test_final Test_more Test_net Test_sim Test_switch Test_transport Test_util Test_workload

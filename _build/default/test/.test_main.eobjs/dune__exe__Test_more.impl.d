@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Bfc_core Bfc_engine Bfc_net Bfc_sim Bfc_switch Bfc_transport Bfc_workload Float List Printf QCheck QCheck_alcotest String

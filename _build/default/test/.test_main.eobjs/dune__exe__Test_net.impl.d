@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Bfc_engine Bfc_net Hashtbl List Option Printf QCheck QCheck_alcotest

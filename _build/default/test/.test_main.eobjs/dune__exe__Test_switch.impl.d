@@ -1,0 +1,1 @@
+test/test_switch.ml: Alcotest Array Bfc_engine Bfc_net Bfc_switch List Option Printf

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Array Bfc_core Bfc_engine Bfc_net Bfc_switch Bfc_transport Bfc_workload List Printf

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bfc_engine Bfc_net Bfc_util Bfc_workload Float Hashtbl List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,420 @@
+(* Tests for the BFC core: flow table, pause counters, DQA, thresholds,
+   the dataplane state machine end-to-end, deadlock analysis and the
+   analytic models. *)
+
+module Time = Bfc_engine.Time
+module Sim = Bfc_engine.Sim
+module Flow = Bfc_net.Flow
+module Packet = Bfc_net.Packet
+module Node = Bfc_net.Node
+module Port = Bfc_net.Port
+module Topology = Bfc_net.Topology
+module Switch = Bfc_switch.Switch
+module Flow_table = Bfc_core.Flow_table
+module Pause_counter = Bfc_core.Pause_counter
+module Dqa = Bfc_core.Dqa
+module Threshold = Bfc_core.Threshold
+module Dataplane = Bfc_core.Dataplane
+module Deadlock = Bfc_core.Deadlock
+module Model = Bfc_core.Model
+module Active_flows = Bfc_core.Active_flows
+
+let check = Alcotest.check
+
+(* ---------------------------- Flow table --------------------------- *)
+
+let test_flow_table_sizing () =
+  let ft = Flow_table.create ~egresses:4 ~queues_per_port:32 ~mult:100 in
+  check Alcotest.int "slots per port" 3200 (Flow_table.slots_per_port ft);
+  check Alcotest.int "total" 12_800 (Flow_table.total_slots ft)
+
+let test_flow_table_same_slot_same_entry () =
+  let ft = Flow_table.create ~egresses:2 ~queues_per_port:8 ~mult:10 in
+  let e1 = Flow_table.entry ft ~egress:0 ~fid_hash:5 in
+  let e2 = Flow_table.entry ft ~egress:0 ~fid_hash:5 in
+  let e3 = Flow_table.entry ft ~egress:0 ~fid_hash:(5 + 80) (* wraps to same slot *) in
+  let e4 = Flow_table.entry ft ~egress:1 ~fid_hash:5 in
+  Alcotest.(check bool) "same hash same entry" true (e1 == e2);
+  Alcotest.(check bool) "index collision shares entry" true (e1 == e3);
+  Alcotest.(check bool) "different egress different entry" true (e1 != e4)
+
+let test_flow_table_occupied () =
+  let ft = Flow_table.create ~egresses:1 ~queues_per_port:4 ~mult:4 in
+  check Alcotest.int "none" 0 (Flow_table.occupied ft ~egress:0);
+  (Flow_table.entry ft ~egress:0 ~fid_hash:1).Flow_table.size <- 2;
+  (Flow_table.entry ft ~egress:0 ~fid_hash:2).Flow_table.size <- 1;
+  check Alcotest.int "two occupied" 2 (Flow_table.occupied ft ~egress:0)
+
+(* -------------------------- Pause counter -------------------------- *)
+
+let test_pause_counter_edges () =
+  let pc = Pause_counter.create ~ingresses:2 ~max_upstream_q:8 in
+  check
+    (Alcotest.testable (fun fmt _ -> Format.fprintf fmt "edge") ( = ))
+    "0->1 pauses" Pause_counter.Went_up
+    (Pause_counter.incr pc ~ingress:0 ~upstream_q:3);
+  Alcotest.(check bool) "paused" true (Pause_counter.paused pc ~ingress:0 ~upstream_q:3);
+  Alcotest.(check bool) "1->2 silent" true
+    (Pause_counter.incr pc ~ingress:0 ~upstream_q:3 = Pause_counter.No_change);
+  Alcotest.(check bool) "2->1 silent" true
+    (Pause_counter.decr pc ~ingress:0 ~upstream_q:3 = Pause_counter.No_change);
+  Alcotest.(check bool) "1->0 resumes" true
+    (Pause_counter.decr pc ~ingress:0 ~upstream_q:3 = Pause_counter.Went_down);
+  Alcotest.(check bool) "unpaused" false (Pause_counter.paused pc ~ingress:0 ~upstream_q:3)
+
+let test_pause_counter_underflow () =
+  let pc = Pause_counter.create ~ingresses:1 ~max_upstream_q:4 in
+  Alcotest.check_raises "decr at zero" (Invalid_argument "Pause_counter.decr: counter already zero")
+    (fun () -> ignore (Pause_counter.decr pc ~ingress:0 ~upstream_q:0))
+
+let test_pause_counter_bitmap () =
+  let pc = Pause_counter.create ~ingresses:1 ~max_upstream_q:8 in
+  ignore (Pause_counter.incr pc ~ingress:0 ~upstream_q:1);
+  ignore (Pause_counter.incr pc ~ingress:0 ~upstream_q:5);
+  check Alcotest.(list int) "paused set" [ 1; 5 ] (Pause_counter.paused_queues pc ~ingress:0)
+
+let prop_pause_counter_invariant =
+  QCheck.Test.make ~name:"pause counter total equals outstanding increments" ~count:200
+    QCheck.(list (pair (int_range 0 3) (int_range 0 7)))
+    (fun ops ->
+      let pc = Pause_counter.create ~ingresses:4 ~max_upstream_q:8 in
+      let outstanding = ref [] in
+      let n = ref 0 in
+      List.iter
+        (fun (ingress, upstream_q) ->
+          (* randomly interleave: even ops increment, odd pop one outstanding *)
+          if !n mod 3 < 2 then begin
+            ignore (Pause_counter.incr pc ~ingress ~upstream_q);
+            outstanding := (ingress, upstream_q) :: !outstanding
+          end
+          else begin
+            match !outstanding with
+            | (i, q) :: rest ->
+              ignore (Pause_counter.decr pc ~ingress:i ~upstream_q:q);
+              outstanding := rest
+            | [] -> ()
+          end;
+          incr n)
+        ops;
+      Pause_counter.total pc = List.length !outstanding)
+
+(* -------------------------------- DQA ------------------------------ *)
+
+let test_dqa_prefers_empty () =
+  let rng = Bfc_util.Rng.create 1 in
+  let d = Dqa.create ~egresses:1 ~queues:4 ~policy:Dqa.Dynamic ~rng in
+  let q1 = Dqa.assign d ~egress:0 ~fid_hash:100 in
+  Dqa.mark_occupied d ~egress:0 ~queue:q1;
+  let q2 = Dqa.assign d ~egress:0 ~fid_hash:200 in
+  Alcotest.(check bool) "distinct queues while available" true (q1 <> q2);
+  Dqa.mark_occupied d ~egress:0 ~queue:q2;
+  check Alcotest.int "two empty left" 2 (Dqa.empty_count d ~egress:0)
+
+let test_dqa_random_fallback_in_range () =
+  let rng = Bfc_util.Rng.create 2 in
+  let d = Dqa.create ~egresses:1 ~queues:3 ~policy:Dqa.Dynamic ~rng in
+  for q = 0 to 2 do
+    Dqa.mark_occupied d ~egress:0 ~queue:q
+  done;
+  for i = 0 to 50 do
+    let q = Dqa.assign d ~egress:0 ~fid_hash:i in
+    Alcotest.(check bool) "in range" true (q >= 0 && q < 3)
+  done
+
+let test_dqa_stochastic_static () =
+  let rng = Bfc_util.Rng.create 3 in
+  let d = Dqa.create ~egresses:1 ~queues:8 ~policy:Dqa.Stochastic ~rng in
+  check Alcotest.int "hash mod queues" (13 mod 8) (Dqa.assign d ~egress:0 ~fid_hash:13);
+  check Alcotest.int "same hash same queue" (Dqa.assign d ~egress:0 ~fid_hash:13)
+    (Dqa.assign d ~egress:0 ~fid_hash:13)
+
+let test_dqa_single () =
+  let rng = Bfc_util.Rng.create 4 in
+  let d = Dqa.create ~egresses:1 ~queues:8 ~policy:Dqa.Single ~rng in
+  check Alcotest.int "always 0" 0 (Dqa.assign d ~egress:0 ~fid_hash:4242)
+
+let prop_dqa_no_sharing_when_flows_fit =
+  QCheck.Test.make ~name:"dynamic assignment never shares while queues remain" ~count:100
+    QCheck.(int_range 1 16)
+    (fun n_flows ->
+      let rng = Bfc_util.Rng.create 5 in
+      let d = Dqa.create ~egresses:1 ~queues:16 ~policy:Dqa.Dynamic ~rng in
+      let used = Hashtbl.create 16 in
+      let ok = ref true in
+      for i = 1 to n_flows do
+        let q = Dqa.assign d ~egress:0 ~fid_hash:(i * 131) in
+        if Hashtbl.mem used q then ok := false;
+        Hashtbl.replace used q ();
+        Dqa.mark_occupied d ~egress:0 ~queue:q
+      done;
+      !ok)
+
+(* ----------------------------- Threshold --------------------------- *)
+
+let test_threshold_formula () =
+  (* HRTT 2us at 100G: 1-hop BDP = 2000ns x 12.5 B/ns = 25 KB *)
+  check Alcotest.int "N=1" 25_000 (Threshold.bytes ~hrtt:2000 ~gbps:100.0 ~n_active:1 ~factor:1.0);
+  check Alcotest.int "N=2 halves" 12_500
+    (Threshold.bytes ~hrtt:2000 ~gbps:100.0 ~n_active:2 ~factor:1.0);
+  check Alcotest.int "N=0 clamps to 1" 25_000
+    (Threshold.bytes ~hrtt:2000 ~gbps:100.0 ~n_active:0 ~factor:1.0);
+  check Alcotest.int "factor scales" 50_000
+    (Threshold.bytes ~hrtt:2000 ~gbps:100.0 ~n_active:1 ~factor:2.0)
+
+let test_threshold_table_matches () =
+  let tbl = Threshold.table ~hrtt:2000 ~gbps:100.0 ~max_active:32 ~factor:1.0 in
+  for n = 1 to 32 do
+    check Alcotest.int
+      (Printf.sprintf "table n=%d" n)
+      (Threshold.bytes ~hrtt:2000 ~gbps:100.0 ~n_active:n ~factor:1.0)
+      (Threshold.lookup tbl ~n_active:n)
+  done;
+  check Alcotest.int "clamps above" (Threshold.lookup tbl ~n_active:32)
+    (Threshold.lookup tbl ~n_active:1000)
+
+(* -------------------------- Dataplane e2e -------------------------- *)
+
+(* Two switches in series with one sender and receiver; flood the second
+   hop so the first hop's queue is paused and then resumed. *)
+let mk_chain () =
+  let sim = Sim.create () in
+  let b = Topology.Builder.create sim in
+  let s0 = Topology.Builder.add_host b ~name:"s0" in
+  let s1 = Topology.Builder.add_host b ~name:"s1" in
+  let sw1 = Topology.Builder.add_switch b ~name:"sw1" in
+  let sw2 = Topology.Builder.add_switch b ~name:"sw2" in
+  let r = Topology.Builder.add_host b ~name:"r" in
+  Topology.Builder.link b s0 sw1 ~gbps:100.0 ~prop:(Time.us 1.0);
+  Topology.Builder.link b s1 sw2 ~gbps:100.0 ~prop:(Time.us 1.0);
+  Topology.Builder.link b sw1 sw2 ~gbps:100.0 ~prop:(Time.us 1.0);
+  Topology.Builder.link b sw2 r ~gbps:100.0 ~prop:(Time.us 1.0);
+  let t = Topology.Builder.finish b in
+  (sim, t, s0, s1, sw1, sw2, r)
+
+let attach_bfc sim t sw_id =
+  let cfg = { Switch.default_config with Switch.queues_per_port = 8 } in
+  let route sw ~in_port:_ pkt =
+    (Topology.candidates t ~node:(Switch.node_id sw) ~dst:pkt.Packet.dst).(0)
+  in
+  let sw =
+    Switch.create ~sim ~node:(Topology.node t sw_id) ~ports:(Topology.ports t sw_id) ~config:cfg
+      ~route
+  in
+  let dp = Dataplane.attach sw { Dataplane.default_config with Dataplane.max_upstream_q = 16 } in
+  (sw, dp)
+
+let test_dataplane_pause_resume_cycle () =
+  let sim, t, s0, s1, sw1_id, sw2_id, r = mk_chain () in
+  let _sw1, dp1 = attach_bfc sim t sw1_id in
+  let _sw2, dp2 = attach_bfc sim t sw2_id in
+  (* hosts: raw senders; r absorbs; s0/s1 count pauses *)
+  (Topology.node t r).Node.handler <- (fun ~in_port:_ _ -> ());
+  (Topology.node t s0).Node.handler <- (fun ~in_port:_ _ -> ());
+  (Topology.node t s1).Node.handler <- (fun ~in_port:_ _ -> ());
+  let f0 = Flow.make ~id:100 ~src:s0 ~dst:r ~size:1_000_000 ~arrival:0 () in
+  let f1 = Flow.make ~id:101 ~src:s1 ~dst:r ~size:1_000_000 ~arrival:0 () in
+  (* both flows blast 200 packets at line rate; they collide at sw2->r *)
+  let blast src f =
+    let port = (Topology.ports t src).(0) in
+    let k = ref 0 in
+    let rec send () =
+      if !k < 200 then begin
+        if not (Port.busy port) then begin
+          let p = Packet.data ~flow:f ~seq:(!k * 1000) ~payload:1000 () in
+          p.Packet.upstream_q <- 1;
+          (* pretend NIC queue 1 *)
+          Port.send port p;
+          incr k
+        end;
+        ignore (Sim.after sim 84 send)
+      end
+    in
+    send ()
+  in
+  blast s0 f0;
+  blast s1 f1;
+  ignore (Sim.run sim ~until:(Time.ms 2.0));
+  let st2 = Dataplane.stats dp2 in
+  Alcotest.(check bool) "sw2 paused upstream" true (st2.Dataplane.pauses_sent > 0);
+  check Alcotest.int "every pause resumed" st2.Dataplane.pauses_sent st2.Dataplane.resumes_sent;
+  check Alcotest.int "pause counters drain to zero" 0
+    (Pause_counter.total (Dataplane.pause_counters dp2));
+  check Alcotest.int "sw1 counters drain too" 0
+    (Pause_counter.total (Dataplane.pause_counters dp1))
+
+let test_dataplane_threshold_tracks_n_active () =
+  let sim, t, _s0, _s1, sw1_id, _sw2_id, _r = mk_chain () in
+  let sw1, dp1 = attach_bfc sim t sw1_id in
+  ignore sw1;
+  (* empty egress: N_active 0 -> Th = full 1-hop BDP (HRTT 2us @100G) *)
+  check Alcotest.int "Th at idle" 25_000 (Dataplane.threshold dp1 ~egress:0)
+
+let test_dataplane_classify_separates_flows () =
+  let sim, t, s0, _s1, sw1_id, _sw2_id, r = mk_chain () in
+  let sw1, _dp1 = attach_bfc sim t sw1_id in
+  (* deliver two different flows' packets directly into sw1 and check they
+     land in different queues (dynamic assignment) *)
+  (Topology.node t r).Node.handler <- (fun ~in_port:_ _ -> ());
+  let deliver f =
+    let p = Packet.data ~flow:f ~seq:0 ~payload:1000 () in
+    p.Packet.upstream_q <- 0;
+    Node.deliver (Topology.node t sw1_id) ~in_port:0 p
+  in
+  let fa = Flow.make ~id:201 ~src:s0 ~dst:r ~size:10_000 ~arrival:0 () in
+  let fb = Flow.make ~id:202 ~src:s0 ~dst:r ~size:10_000 ~arrival:0 () in
+  deliver fa;
+  deliver fb;
+  (* the egress to sw2 now holds 2 packets; with dynamic DQA they are in two
+     distinct queues *)
+  let egress = ref (-1) in
+  Array.iteri
+    (fun i p -> if (Port.peer p).Node.id <> s0 then egress := i)
+    (Topology.ports t sw1_id);
+  ignore (Sim.run sim ~until:50);
+  (* one may already be serializing; n_active counts the one still queued *)
+  Alcotest.(check bool) "no sharing" true (Switch.n_active sw1 ~egress:!egress <= 2)
+
+(* ------------------------------ Deadlock --------------------------- *)
+
+let test_deadlock_clos_acyclic () =
+  let sim = Sim.create () in
+  let cl = Topology.clos sim ~spines:2 ~tors:3 ~hosts_per_tor:2 ~gbps:100.0 ~prop:1000 in
+  let g = Deadlock.build cl.Topology.t in
+  Alcotest.(check bool) "clos has edges" true (Deadlock.n_edges g > 0);
+  Alcotest.(check bool) "clos acyclic" false (Deadlock.has_cycle g);
+  check Alcotest.int "nothing to elide" 0 (List.length (Deadlock.dangerous_edges g))
+
+let test_deadlock_synthetic_cycle () =
+  let g = Deadlock.create ~n:3 in
+  Deadlock.add_edge g ~src:0 ~dst:1;
+  Deadlock.add_edge g ~src:1 ~dst:2;
+  Alcotest.(check bool) "no cycle yet" false (Deadlock.has_cycle g);
+  Deadlock.add_edge g ~src:2 ~dst:0;
+  Alcotest.(check bool) "cycle" true (Deadlock.has_cycle g);
+  check Alcotest.int "all three edges dangerous" 3 (List.length (Deadlock.dangerous_edges g));
+  match Deadlock.find_cycle g with
+  | Some c -> Alcotest.(check bool) "witness length 3" true (List.length c = 3)
+  | None -> Alcotest.fail "expected witness"
+
+let test_deadlock_dedup_edges () =
+  let g = Deadlock.create ~n:2 in
+  Deadlock.add_edge g ~src:0 ~dst:1;
+  Deadlock.add_edge g ~src:0 ~dst:1;
+  check Alcotest.int "deduped" 1 (Deadlock.n_edges g)
+
+let test_deadlock_ring_filter () =
+  let sim = Sim.create () in
+  let b = Topology.Builder.create sim in
+  let n = 5 in
+  let sws = Array.init n (fun i -> Topology.Builder.add_switch b ~name:(Printf.sprintf "r%d" i)) in
+  Array.iteri
+    (fun i sw ->
+      let h = Topology.Builder.add_host b ~name:(Printf.sprintf "h%d" i) in
+      Topology.Builder.link b h sw ~gbps:100.0 ~prop:1000)
+    sws;
+  for i = 0 to n - 1 do
+    Topology.Builder.link b sws.(i) sws.((i + 1) mod n) ~gbps:100.0 ~prop:1000
+  done;
+  let t = Topology.Builder.finish b in
+  let g = Deadlock.build t in
+  Alcotest.(check bool) "ring cyclic" true (Deadlock.has_cycle g);
+  let dangerous = Deadlock.dangerous_edges g in
+  Alcotest.(check bool) "has dangerous edges" true (dangerous <> []);
+  (* the filter must disallow exactly the dangerous edges *)
+  let filter = Deadlock.make_filter t g ~sw:sws.(0) in
+  let any_blocked = ref false in
+  let ports0 = Topology.ports t sws.(0) in
+  for i = 0 to Array.length ports0 - 1 do
+    for j = 0 to Array.length ports0 - 1 do
+      if i <> j && not (filter ~in_port:i ~egress:j) then any_blocked := true
+    done
+  done;
+  Alcotest.(check bool) "filter blocks something on the ring" true !any_blocked
+
+let prop_deadlock_random_dag_acyclic =
+  QCheck.Test.make ~name:"graphs with forward-only edges are acyclic" ~count:100
+    QCheck.(list (pair (int_range 0 19) (int_range 0 19)))
+    (fun pairs ->
+      let g = Deadlock.create ~n:20 in
+      List.iter
+        (fun (a, b) -> if a < b then Deadlock.add_edge g ~src:a ~dst:b)
+        pairs;
+      not (Deadlock.has_cycle g))
+
+(* ------------------------------- Models ---------------------------- *)
+
+let test_model_headline_claim () =
+  (* Th = 1-hop BDP => worst-case idle fraction exactly 20% at x = 2 *)
+  Alcotest.(check (float 1e-9)) "worst x" 2.0 (Model.worst_x ~th_ratio:1.0);
+  Alcotest.(check (float 1e-9)) "max 20%" 0.2 (Model.max_ef ~th_ratio:1.0);
+  Alcotest.(check (float 1e-3)) "x=1.1 gives ~7.6%" 0.0756 (Model.ef ~x:1.1 ~th_ratio:1.0)
+
+let test_model_monotone_in_th () =
+  let prev = ref 1.0 in
+  List.iter
+    (fun th ->
+      let v = Model.max_ef ~th_ratio:th in
+      Alcotest.(check bool) "decreasing in Th" true (v < !prev);
+      prev := v)
+    [ 0.5; 1.0; 2.0; 4.0 ]
+
+let prop_model_worst_x_maximizes =
+  QCheck.Test.make ~name:"ef(x) <= ef(worst_x) for all x" ~count:200
+    QCheck.(pair (float_range 1.01 10.0) (float_range 0.1 8.0))
+    (fun (x, th_ratio) ->
+      Model.ef ~x ~th_ratio <= Model.max_ef ~th_ratio +. 1e-9)
+
+let test_model_phases () =
+  let p1, p2, p3 = Model.phase_durations ~x:2.0 ~th_ratio:1.0 in
+  Alcotest.(check (float 1e-9)) "build-up" 2.0 p1;
+  Alcotest.(check (float 1e-9)) "drain" 2.0 p2;
+  Alcotest.(check (float 1e-9)) "idle = 1 HRTT" 1.0 p3;
+  Alcotest.(check (float 1e-9)) "ef = p3/sum" 0.2 (p3 /. (p1 +. p2 +. p3))
+
+let test_active_flows_theory () =
+  Alcotest.(check (float 1e-9)) "mean at 0.9" 9.0 (Active_flows.mean ~rho:0.9);
+  Alcotest.(check (float 1e-9)) "pmf 0" 0.1 (Active_flows.pmf ~rho:0.9 0);
+  Alcotest.(check (float 1e-6)) "cdf large n -> 1" 1.0 (Active_flows.cdf ~rho:0.5 50);
+  check Alcotest.int "quantile 0.99 at rho=.5" 6 (Active_flows.quantile ~rho:0.5 ~p:0.99)
+
+let prop_active_flows_pmf_sums =
+  QCheck.Test.make ~name:"geometric pmf sums to ~1" ~count:50
+    QCheck.(float_range 0.05 0.95)
+    (fun rho ->
+      let s = ref 0.0 in
+      for n = 0 to 2000 do
+        s := !s +. Active_flows.pmf ~rho n
+      done;
+      Float.abs (!s -. 1.0) < 1e-3)
+
+let suite =
+  [
+    ("flow table sizing", `Quick, test_flow_table_sizing);
+    ("flow table slots", `Quick, test_flow_table_same_slot_same_entry);
+    ("flow table occupied", `Quick, test_flow_table_occupied);
+    ("pause counter edges", `Quick, test_pause_counter_edges);
+    ("pause counter underflow", `Quick, test_pause_counter_underflow);
+    ("pause counter bitmap", `Quick, test_pause_counter_bitmap);
+    ("dqa prefers empty", `Quick, test_dqa_prefers_empty);
+    ("dqa random fallback", `Quick, test_dqa_random_fallback_in_range);
+    ("dqa stochastic", `Quick, test_dqa_stochastic_static);
+    ("dqa single", `Quick, test_dqa_single);
+    ("threshold formula", `Quick, test_threshold_formula);
+    ("threshold table", `Quick, test_threshold_table_matches);
+    ("dataplane pause/resume cycle", `Quick, test_dataplane_pause_resume_cycle);
+    ("dataplane threshold", `Quick, test_dataplane_threshold_tracks_n_active);
+    ("dataplane classify separates", `Quick, test_dataplane_classify_separates_flows);
+    ("deadlock clos acyclic", `Quick, test_deadlock_clos_acyclic);
+    ("deadlock synthetic cycle", `Quick, test_deadlock_synthetic_cycle);
+    ("deadlock dedup", `Quick, test_deadlock_dedup_edges);
+    ("deadlock ring filter", `Quick, test_deadlock_ring_filter);
+    ("model headline 20%", `Quick, test_model_headline_claim);
+    ("model monotone", `Quick, test_model_monotone_in_th);
+    ("model phases", `Quick, test_model_phases);
+    ("active flows theory", `Quick, test_active_flows_theory);
+    QCheck_alcotest.to_alcotest prop_pause_counter_invariant;
+    QCheck_alcotest.to_alcotest prop_dqa_no_sharing_when_flows_fit;
+    QCheck_alcotest.to_alcotest prop_deadlock_random_dag_acyclic;
+    QCheck_alcotest.to_alcotest prop_model_worst_x_maximizes;
+    QCheck_alcotest.to_alcotest prop_active_flows_pmf_sums;
+  ]

@@ -1,0 +1,130 @@
+(* Tests for the discrete-event engine. *)
+
+module Time = Bfc_engine.Time
+module Sim = Bfc_engine.Sim
+
+let check = Alcotest.check
+
+(* ------------------------------- Time ------------------------------ *)
+
+let test_time_units () =
+  check Alcotest.int "us" 1_000 (Time.us 1.0);
+  check Alcotest.int "ms" 1_000_000 (Time.ms 1.0);
+  check Alcotest.int "s" 1_000_000_000 (Time.s 1.0);
+  Alcotest.(check (float 1e-9)) "to_us" 2.5 (Time.to_us 2_500);
+  Alcotest.(check (float 1e-9)) "to_ms" 0.001 (Time.to_ms 1_000)
+
+let test_tx_time () =
+  (* 1000 B at 100 Gbps = 8000 bits / 100 bits-per-ns = 80 ns *)
+  check Alcotest.int "100G mtu" 80 (Time.tx_time ~gbps:100.0 ~bytes:1000);
+  check Alcotest.int "10G mtu" 800 (Time.tx_time ~gbps:10.0 ~bytes:1000);
+  check Alcotest.int "min 1ns" 1 (Time.tx_time ~gbps:100.0 ~bytes:1)
+
+(* ------------------------------- Sim ------------------------------- *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.at sim 30 (fun () -> log := 30 :: !log));
+  ignore (Sim.at sim 10 (fun () -> log := 10 :: !log));
+  ignore (Sim.at sim 20 (fun () -> log := 20 :: !log));
+  ignore (Sim.run_until_idle sim);
+  check Alcotest.(list int) "time order" [ 10; 20; 30 ] (List.rev !log);
+  check Alcotest.int "clock at last event" 30 (Sim.now sim)
+
+let test_sim_fifo_same_time () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.at sim 5 (fun () -> log := "a" :: !log));
+  ignore (Sim.at sim 5 (fun () -> log := "b" :: !log));
+  ignore (Sim.at sim 5 (fun () -> log := "c" :: !log));
+  ignore (Sim.run_until_idle sim);
+  check Alcotest.(list string) "fifo" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_sim_after_relative () =
+  let sim = Sim.create () in
+  let seen = ref (-1) in
+  ignore
+    (Sim.at sim 100 (fun () -> ignore (Sim.after sim 50 (fun () -> seen := Sim.now sim))));
+  ignore (Sim.run_until_idle sim);
+  check Alcotest.int "relative delay lands at 150" 150 !seen
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.at sim 10 (fun () -> fired := true) in
+  Alcotest.(check bool) "pending before" true (Sim.pending h);
+  Sim.cancel h;
+  Alcotest.(check bool) "not pending after" false (Sim.pending h);
+  ignore (Sim.run_until_idle sim);
+  Alcotest.(check bool) "cancelled event did not fire" false !fired
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.at sim (i * 10) (fun () -> incr count))
+  done;
+  ignore (Sim.run sim ~until:55);
+  check Alcotest.int "only first five" 5 !count;
+  check Alcotest.int "clock parked at until" 55 (Sim.now sim);
+  ignore (Sim.run sim ~until:1000);
+  check Alcotest.int "rest execute" 10 !count
+
+let test_sim_past_scheduling_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.at sim 100 (fun () -> ()));
+  ignore (Sim.run_until_idle sim);
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Sim.at sim 50 ignore);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sim_ticker () =
+  let sim = Sim.create () in
+  let n = ref 0 in
+  let tick = Sim.every sim ~period:10 (fun () -> incr n) in
+  ignore (Sim.run sim ~until:55);
+  check Alcotest.int "5 ticks by 55" 5 !n;
+  Sim.stop_ticker tick;
+  ignore (Sim.run sim ~until:200);
+  check Alcotest.int "stopped" 5 !n
+
+let test_sim_nested_events () =
+  (* events scheduling events at the same instant run in FIFO order *)
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.at sim 10 (fun () ->
+         log := "outer" :: !log;
+         ignore (Sim.after sim 0 (fun () -> log := "inner" :: !log))));
+  ignore (Sim.at sim 10 (fun () -> log := "second" :: !log));
+  ignore (Sim.run_until_idle sim);
+  check Alcotest.(list string) "ordering" [ "outer"; "second"; "inner" ] (List.rev !log)
+
+let prop_sim_executes_in_order =
+  QCheck.Test.make ~name:"random schedules execute in nondecreasing time" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_range 0 10_000))
+    (fun times ->
+      let sim = Sim.create () in
+      let seen = ref [] in
+      List.iter (fun t -> ignore (Sim.at sim t (fun () -> seen := Sim.now sim :: !seen))) times;
+      ignore (Sim.run_until_idle sim);
+      let s = List.rev !seen in
+      List.sort compare s = s && List.length s = List.length times)
+
+let suite =
+  [
+    ("time units", `Quick, test_time_units);
+    ("tx time", `Quick, test_tx_time);
+    ("sim ordering", `Quick, test_sim_ordering);
+    ("sim fifo same time", `Quick, test_sim_fifo_same_time);
+    ("sim after", `Quick, test_sim_after_relative);
+    ("sim cancel", `Quick, test_sim_cancel);
+    ("sim run until", `Quick, test_sim_run_until);
+    ("sim rejects past", `Quick, test_sim_past_scheduling_rejected);
+    ("sim ticker", `Quick, test_sim_ticker);
+    ("sim nested events", `Quick, test_sim_nested_events);
+    QCheck_alcotest.to_alcotest prop_sim_executes_in_order;
+  ]

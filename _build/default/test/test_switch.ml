@@ -1,0 +1,415 @@
+(* Tests for the switch model: FIFOs, schedulers, the shared buffer, ECN,
+   PFC, INT stamping, and forwarding. *)
+
+module Time = Bfc_engine.Time
+module Sim = Bfc_engine.Sim
+module Flow = Bfc_net.Flow
+module Packet = Bfc_net.Packet
+module Node = Bfc_net.Node
+module Port = Bfc_net.Port
+module Topology = Bfc_net.Topology
+module Fifo = Bfc_switch.Fifo
+module Sched = Bfc_switch.Sched
+module Buffer = Bfc_switch.Buffer
+module Switch = Bfc_switch.Switch
+
+let check = Alcotest.check
+
+let flow = Flow.make ~id:1 ~src:0 ~dst:1 ~size:1_000_000 ~arrival:0 ()
+
+let data ?(payload = 1000) ?(remaining = 0) () =
+  let p = Packet.data ~flow ~seq:0 ~payload () in
+  p.Packet.remaining <- remaining;
+  p
+
+(* ------------------------------- Fifo ------------------------------ *)
+
+let test_fifo_accounting () =
+  let q = Fifo.create ~idx:0 ~cls:0 in
+  Alcotest.(check bool) "empty" true (Fifo.is_empty q);
+  let p = data () in
+  Fifo.push q p;
+  check Alcotest.int "bytes" p.Packet.size q.Fifo.bytes;
+  check Alcotest.int "len" 1 (Fifo.length q);
+  let got = Fifo.pop q in
+  check Alcotest.int "same packet" p.Packet.uid got.Packet.uid;
+  check Alcotest.int "bytes zero" 0 q.Fifo.bytes
+
+let test_fifo_head_remaining () =
+  let q = Fifo.create ~idx:0 ~cls:0 in
+  check Alcotest.int "empty = max_int" max_int (Fifo.head_remaining q);
+  Fifo.push q (data ~remaining:500 ());
+  Fifo.push q (data ~remaining:99 ());
+  check Alcotest.int "head's remaining" 500 (Fifo.head_remaining q)
+
+(* ------------------------------ Sched ------------------------------ *)
+
+let mk_sched ?(n = 4) ?(policy = Sched.Drr) ?(classes = 1) () =
+  let queues = Array.init n (fun idx -> Fifo.create ~idx ~cls:(idx * classes / n)) in
+  (Sched.create policy ~queues ~classes ~quantum:1100, queues)
+
+let test_sched_drr_round_robin () =
+  let s, q = mk_sched () in
+  for _ = 1 to 3 do
+    Sched.push s q.(0) (data ());
+    Sched.push s q.(2) (data ())
+  done;
+  let order = ref [] in
+  let rec drain () =
+    match Sched.next s with
+    | Some (fifo, _) ->
+      order := fifo.Fifo.idx :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.(list int) "alternates" [ 0; 2; 0; 2; 0; 2 ] (List.rev !order)
+
+let test_sched_drr_byte_fairness () =
+  (* queue 0 has big packets, queue 1 small ones: over time bytes served
+     should be roughly equal *)
+  let s, q = mk_sched () in
+  for _ = 1 to 50 do
+    Sched.push s q.(0) (data ~payload:1000 ())
+  done;
+  for _ = 1 to 500 do
+    Sched.push s q.(1) (data ~payload:100 ())
+  done;
+  let served = [| 0; 0 |] in
+  for _ = 1 to 200 do
+    match Sched.next s with
+    | Some (fifo, pkt) -> served.(fifo.Fifo.idx) <- served.(fifo.Fifo.idx) + pkt.Packet.size
+    | None -> ()
+  done;
+  let ratio = float_of_int served.(0) /. float_of_int served.(1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "byte-fair (ratio %f)" ratio)
+    true
+    (ratio > 0.75 && ratio < 1.35)
+
+let test_sched_pause_eligibility () =
+  let s, q = mk_sched () in
+  Sched.push s q.(0) (data ());
+  Sched.push s q.(1) (data ());
+  Sched.set_paused s q.(0) true;
+  (match Sched.next s with
+  | Some (fifo, _) -> check Alcotest.int "skips paused" 1 fifo.Fifo.idx
+  | None -> Alcotest.fail "expected a packet");
+  check Alcotest.(option (pair int int)) "nothing else eligible" None
+    (Option.map (fun (f, (p : Packet.t)) -> (f.Fifo.idx, p.Packet.payload)) (Sched.next s));
+  Sched.set_paused s q.(0) false;
+  match Sched.next s with
+  | Some (fifo, _) -> check Alcotest.int "resumed queue serves" 0 fifo.Fifo.idx
+  | None -> Alcotest.fail "expected resumed packet"
+
+let test_sched_n_active () =
+  let s, q = mk_sched () in
+  check Alcotest.int "idle" 0 (Sched.n_active s);
+  Sched.push s q.(0) (data ());
+  Sched.push s q.(1) (data ());
+  check Alcotest.int "two active" 2 (Sched.n_active s);
+  Sched.set_paused s q.(1) true;
+  check Alcotest.int "paused not active" 1 (Sched.n_active s);
+  check Alcotest.int "still backlogged" 2 (Sched.n_backlogged s);
+  ignore (Sched.next s);
+  check Alcotest.int "drained one" 0 (Sched.n_active s)
+
+let test_sched_srf_order () =
+  let s, q = mk_sched ~policy:Sched.Srf () in
+  Sched.push s q.(0) (data ~remaining:5000 ());
+  Sched.push s q.(1) (data ~remaining:100 ());
+  Sched.push s q.(2) (data ~remaining:900 ());
+  let order = ref [] in
+  let rec drain () =
+    match Sched.next s with
+    | Some (fifo, _) ->
+      order := fifo.Fifo.idx :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.(list int) "shortest remaining first" [ 1; 2; 0 ] (List.rev !order)
+
+let test_sched_prio_strict () =
+  let s, q = mk_sched ~policy:Sched.Prio_strict () in
+  Sched.push s q.(3) (data ());
+  Sched.push s q.(1) (data ());
+  Sched.push s q.(3) (data ());
+  let order = ref [] in
+  let rec drain () =
+    match Sched.next s with
+    | Some (fifo, _) ->
+      order := fifo.Fifo.idx :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.(list int) "lowest index first" [ 1; 3; 3 ] (List.rev !order)
+
+let test_sched_classes () =
+  (* 4 queues, 2 classes; class 0 (queues 0-1) strictly beats class 1 *)
+  let s, q = mk_sched ~classes:2 () in
+  Sched.push s q.(3) (data ());
+  Sched.push s q.(0) (data ());
+  (match Sched.next s with
+  | Some (fifo, _) -> check Alcotest.int "high class first" 0 fifo.Fifo.idx
+  | None -> Alcotest.fail "no packet");
+  match Sched.next s with
+  | Some (fifo, _) -> check Alcotest.int "then low class" 3 fifo.Fifo.idx
+  | None -> Alcotest.fail "no packet"
+
+(* ------------------------------ Buffer ----------------------------- *)
+
+let test_buffer_admission () =
+  let b = Buffer.create ~total:10_000 ~alpha:1.0 ~n_ingress:2 in
+  Alcotest.(check bool) "admits into empty" true (Buffer.admit b ~queue_bytes:0 ~size:1000);
+  Buffer.on_enqueue b ~in_port:0 ~size:9_500;
+  Alcotest.(check bool) "rejects overflow" false (Buffer.admit b ~queue_bytes:0 ~size:1000);
+  check Alcotest.int "ingress accounting" 9_500 (Buffer.ingress_used b 0);
+  Buffer.on_dequeue b ~in_port:0 ~size:9_500;
+  check Alcotest.int "freed" 0 (Buffer.used b)
+
+let test_buffer_dynamic_threshold () =
+  let b = Buffer.create ~total:10_000 ~alpha:0.5 ~n_ingress:1 in
+  Buffer.on_enqueue b ~in_port:0 ~size:6_000;
+  (* free = 4000; threshold = 2000: a queue already at 2500 is rejected *)
+  Alcotest.(check bool) "DT rejects hog queue" false (Buffer.admit b ~queue_bytes:2_500 ~size:100);
+  Alcotest.(check bool) "DT admits small queue" true (Buffer.admit b ~queue_bytes:500 ~size:100)
+
+let test_buffer_infinite () =
+  let b = Buffer.create ~total:max_int ~alpha:1.0 ~n_ingress:1 in
+  Alcotest.(check bool) "infinite" true (Buffer.infinite b);
+  Alcotest.(check bool) "always admits" true (Buffer.admit b ~queue_bytes:max_int ~size:1_000_000)
+
+(* --------------------------- Switch glue --------------------------- *)
+
+(* Build: h0, h1 -> sw -> hR; the switch forwards by routing hook. *)
+let mini_net ?(config = Switch.default_config) () =
+  let sim = Sim.create () in
+  let st = Topology.star sim ~senders:2 ~gbps:100.0 ~prop:(Time.us 1.0) in
+  let t = st.Topology.s in
+  let route _sw ~in_port:_ pkt = (Topology.candidates t ~node:st.Topology.st_switch ~dst:pkt.Packet.dst).(0) in
+  let sw =
+    Switch.create ~sim ~node:(Topology.node t st.Topology.st_switch)
+      ~ports:(Topology.ports t st.Topology.st_switch) ~config ~route
+  in
+  (sim, st, t, sw)
+
+let receiver_log t st =
+  let log = ref [] in
+  (Topology.node t st.Topology.st_receiver).Node.handler <-
+    (fun ~in_port:_ pkt -> log := pkt :: !log);
+  log
+
+let send_from t st i pkt = Port.send (Topology.ports t st.Topology.st_senders.(i)).(0) pkt
+
+(* Deliver straight into the switch on sender [i]'s ingress port (bursts
+   faster than a single host uplink could physically produce). *)
+let deliver_burst t st i pkt = Node.deliver (Topology.node t st.Topology.st_switch) ~in_port:i pkt
+
+let test_switch_forwards () =
+  let sim, st, t, _sw = mini_net () in
+  let log = receiver_log t st in
+  let f = Flow.make ~id:4 ~src:st.Topology.st_senders.(0) ~dst:st.Topology.st_receiver ~size:1000 ~arrival:0 () in
+  send_from t st 0 (Packet.data ~flow:f ~seq:0 ~payload:1000 ());
+  ignore (Sim.run_until_idle sim);
+  check Alcotest.int "delivered" 1 (List.length !log)
+
+let test_switch_queues_when_contended () =
+  let sim, st, t, sw = mini_net () in
+  let log = receiver_log t st in
+  (* both senders blast 20 packets at the same time: the 100G egress must
+     serialize 40 packets => last arrival ~40 x 84ns after the first *)
+  for i = 0 to 1 do
+    let f =
+      Flow.make ~id:(10 + i) ~src:st.Topology.st_senders.(i) ~dst:st.Topology.st_receiver
+        ~size:20_000 ~arrival:0 ()
+    in
+    for k = 0 to 19 do
+      ignore
+        (Sim.at sim (k * 84) (fun () ->
+             deliver_burst t st i (Packet.data ~flow:f ~seq:(k * 1000) ~payload:1000 ())))
+    done
+  done;
+  ignore (Sim.run_until_idle sim);
+  check Alcotest.int "all 40 delivered" 40 (List.length !log);
+  check Alcotest.int "no drops" 0 (Switch.drops sw);
+  (* queuing delay accumulated on at least the tail packets *)
+  let delayed = List.filter (fun p -> p.Packet.q_delay > 0) !log in
+  Alcotest.(check bool) "tail packets queued" true (List.length delayed > 10)
+
+let test_switch_drops_when_full () =
+  let config = { Switch.default_config with Switch.buffer_bytes = 5_000 } in
+  let sim, st, t, sw = mini_net ~config () in
+  let _log = receiver_log t st in
+  let f = Flow.make ~id:9 ~src:st.Topology.st_senders.(0) ~dst:st.Topology.st_receiver ~size:100_000 ~arrival:0 () in
+  (* 2 senders x 30 pkts instantly: way over the 5KB buffer *)
+  for i = 0 to 1 do
+    for k = 0 to 29 do
+      ignore
+        (Sim.at sim (k * 42) (fun () ->
+             deliver_burst t st i (Packet.data ~flow:f ~seq:(k * 1000) ~payload:1000 ())))
+    done
+  done;
+  ignore (Sim.run_until_idle sim);
+  Alcotest.(check bool) "drops happened" true (Switch.drops sw > 0);
+  Alcotest.(check bool) "data drops counted" true (Switch.data_drops sw > 0)
+
+let test_switch_ecn_marks () =
+  let config =
+    {
+      Switch.default_config with
+      Switch.ecn = Some { Switch.kmin = 2_000; kmax = 4_000; pmax = 1.0 };
+    }
+  in
+  let sim, st, t, _sw = mini_net ~config () in
+  let log = receiver_log t st in
+  let f = Flow.make ~id:3 ~src:st.Topology.st_senders.(0) ~dst:st.Topology.st_receiver ~size:50_000 ~arrival:0 () in
+  for k = 0 to 29 do
+    (* all at t=0: the queue builds beyond kmax *)
+    deliver_burst t st 0 (Packet.data ~flow:f ~seq:(k * 1000) ~payload:1000 ())
+  done;
+  ignore (Sim.run_until_idle sim);
+  let marked = List.length (List.filter (fun p -> p.Packet.ecn) !log) in
+  Alcotest.(check bool) (Printf.sprintf "some marked (%d)" marked) true (marked > 5);
+  let unmarked = List.length (List.filter (fun p -> not p.Packet.ecn) !log) in
+  Alcotest.(check bool) "early packets unmarked" true (unmarked >= 2)
+
+let test_switch_int_stamping () =
+  let config = { Switch.default_config with Switch.int_stamping = true } in
+  let sim, st, t, _sw = mini_net ~config () in
+  let log = receiver_log t st in
+  let f = Flow.make ~id:5 ~src:st.Topology.st_senders.(0) ~dst:st.Topology.st_receiver ~size:1000 ~arrival:0 () in
+  send_from t st 0 (Packet.data ~flow:f ~seq:0 ~payload:1000 ());
+  ignore (Sim.run_until_idle sim);
+  match !log with
+  | [ p ] ->
+    check Alcotest.int "one INT hop" 1 (List.length p.Packet.int_hops);
+    let h = List.hd p.Packet.int_hops in
+    Alcotest.(check (float 0.01)) "gbps recorded" 100.0 h.Packet.h_gbps;
+    Alcotest.(check bool) "tx bytes positive" true (h.Packet.h_tx_bytes > 0)
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_switch_pfc_pause_resume () =
+  (* tiny buffer so ingress occupancy crosses the PFC threshold *)
+  let config =
+    {
+      Switch.default_config with
+      Switch.buffer_bytes = 40_000;
+      pfc = Some { Switch.threshold_frac = 0.11; resume_frac = 0.8 };
+    }
+  in
+  let sim, st, t, sw = mini_net ~config () in
+  let _log = receiver_log t st in
+  (* sender 0's host node observes Pfc control packets and complies *)
+  let pfc_events = ref [] in
+  let paused = ref false in
+  (Topology.node t st.Topology.st_senders.(0)).Node.handler <-
+    (fun ~in_port:_ pkt ->
+      if pkt.Packet.kind = Packet.Pfc then begin
+        pfc_events := pkt.Packet.ctrl_b :: !pfc_events;
+        paused := pkt.Packet.ctrl_b = 1
+      end);
+  let f = Flow.make ~id:6 ~src:st.Topology.st_senders.(0) ~dst:st.Topology.st_receiver ~size:100_000 ~arrival:0 () in
+  (* inject at 2x line rate, but honour the pause like a real upstream *)
+  let k = ref 0 in
+  let rec inject () =
+    if !k < 60 then begin
+      if not !paused then begin
+        deliver_burst t st 0 (Packet.data ~flow:f ~seq:(!k * 1000) ~payload:1000 ());
+        incr k
+      end;
+      ignore (Sim.after sim 42 inject)
+    end
+  in
+  inject ();
+  ignore (Sim.run_until_idle sim);
+  Alcotest.(check bool) "pause sent" true (List.mem 1 !pfc_events);
+  Alcotest.(check bool) "resume sent" true (List.mem 0 !pfc_events);
+  check Alcotest.int "no drops thanks to PFC headroom" 0 (Switch.drops sw)
+
+let test_switch_pfc_pauses_egress () =
+  let sim, st, t, sw = mini_net () in
+  let _log = receiver_log t st in
+  let f = Flow.make ~id:7 ~src:st.Topology.st_senders.(0) ~dst:st.Topology.st_receiver ~size:10_000 ~arrival:0 () in
+  (* find the egress towards the receiver and PFC-pause it externally *)
+  let egress = ref (-1) in
+  Array.iteri
+    (fun i p -> if (Port.peer p).Node.id = st.Topology.st_receiver then egress := i)
+    (Topology.ports t st.Topology.st_switch);
+  let pfc = Packet.make Packet.Pfc ~src:(-1) ~dst:(-1) ~size:64 () in
+  pfc.Packet.ctrl_b <- 1;
+  Node.deliver (Topology.node t st.Topology.st_switch) ~in_port:!egress pfc;
+  send_from t st 0 (Packet.data ~flow:f ~seq:0 ~payload:1000 ());
+  ignore (Sim.run sim ~until:(Time.us 100.0));
+  Alcotest.(check bool) "held while paused" true (Switch.egress_bytes sw ~egress:!egress > 0);
+  Alcotest.(check bool) "pause time accounted" true (Switch.pfc_paused_ns sw ~egress:!egress > 0);
+  let resume = Packet.make Packet.Pfc ~src:(-1) ~dst:(-1) ~size:64 () in
+  resume.Packet.ctrl_b <- 0;
+  Node.deliver (Topology.node t st.Topology.st_switch) ~in_port:!egress resume;
+  ignore (Sim.run_until_idle sim);
+  check Alcotest.int "drained after resume" 0 (Switch.egress_bytes sw ~egress:!egress)
+
+let test_switch_conservation () =
+  let sim, st, t, sw = mini_net () in
+  let log = receiver_log t st in
+  let n = 100 in
+  for i = 0 to 1 do
+    let f =
+      Flow.make ~id:(20 + i) ~src:st.Topology.st_senders.(i) ~dst:st.Topology.st_receiver
+        ~size:(n * 1000) ~arrival:0 ()
+    in
+    for k = 0 to (n / 2) - 1 do
+      ignore
+        (Sim.at sim (k * 90) (fun () ->
+             send_from t st i (Packet.data ~flow:f ~seq:(k * 1000) ~payload:1000 ())))
+    done
+  done;
+  ignore (Sim.run_until_idle sim);
+  check Alcotest.int "rx = tx + drops" (Switch.rx_packets sw)
+    (Switch.tx_packets sw + Switch.drops sw);
+  check Alcotest.int "all delivered" n (List.length !log);
+  check Alcotest.int "buffer empty at the end" 0 (Switch.buffer_used sw)
+
+let test_switch_queue_pause_api () =
+  let sim, st, t, sw = mini_net () in
+  let log = receiver_log t st in
+  let f = Flow.make ~id:8 ~src:st.Topology.st_senders.(0) ~dst:st.Topology.st_receiver ~size:2000 ~arrival:0 () in
+  let egress = ref (-1) in
+  Array.iteri
+    (fun i p -> if (Port.peer p).Node.id = st.Topology.st_receiver then egress := i)
+    (Topology.ports t st.Topology.st_switch);
+  (* default classify maps prio 0 -> queue 0 *)
+  Switch.set_queue_paused sw ~egress:!egress ~queue:0 true;
+  send_from t st 0 (Packet.data ~flow:f ~seq:0 ~payload:1000 ());
+  ignore (Sim.run sim ~until:(Time.us 50.0));
+  check Alcotest.int "held" 0 (List.length !log);
+  check Alcotest.int "n_active excludes paused" 0 (Switch.n_active sw ~egress:!egress);
+  Switch.set_queue_paused sw ~egress:!egress ~queue:0 false;
+  ignore (Sim.run_until_idle sim);
+  check Alcotest.int "released" 1 (List.length !log)
+
+let suite =
+  [
+    ("fifo accounting", `Quick, test_fifo_accounting);
+    ("fifo head remaining", `Quick, test_fifo_head_remaining);
+    ("sched drr round robin", `Quick, test_sched_drr_round_robin);
+    ("sched drr byte fairness", `Quick, test_sched_drr_byte_fairness);
+    ("sched pause eligibility", `Quick, test_sched_pause_eligibility);
+    ("sched n_active", `Quick, test_sched_n_active);
+    ("sched srf order", `Quick, test_sched_srf_order);
+    ("sched strict priority", `Quick, test_sched_prio_strict);
+    ("sched classes", `Quick, test_sched_classes);
+    ("buffer admission", `Quick, test_buffer_admission);
+    ("buffer dynamic threshold", `Quick, test_buffer_dynamic_threshold);
+    ("buffer infinite", `Quick, test_buffer_infinite);
+    ("switch forwards", `Quick, test_switch_forwards);
+    ("switch queues under contention", `Quick, test_switch_queues_when_contended);
+    ("switch drops when full", `Quick, test_switch_drops_when_full);
+    ("switch ecn marks", `Quick, test_switch_ecn_marks);
+    ("switch int stamping", `Quick, test_switch_int_stamping);
+    ("switch pfc pause/resume", `Quick, test_switch_pfc_pause_resume);
+    ("switch pfc pauses egress", `Quick, test_switch_pfc_pauses_egress);
+    ("switch conservation", `Quick, test_switch_conservation);
+    ("switch queue pause api", `Quick, test_switch_queue_pause_api);
+  ]

@@ -1,0 +1,325 @@
+(* Unit and property tests for Bfc_util. *)
+
+module Rng = Bfc_util.Rng
+module Heap = Bfc_util.Heap
+module Bitset = Bfc_util.Bitset
+module Stats = Bfc_util.Stats
+module Histogram = Bfc_util.Histogram
+
+let check = Alcotest.check
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+(* ------------------------------- Rng ------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits a = Rng.bits b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xa = Rng.bits a and xb = Rng.bits b in
+  Alcotest.(check bool) "split streams differ" true (xa <> xb)
+
+let test_rng_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.bits a);
+  let b = Rng.copy a in
+  check Alcotest.int "copy continues identically" (Rng.bits a) (Rng.bits b)
+
+let test_rng_int_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_invalid () =
+  let r = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_range () =
+  let r = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 11 in
+  let n = 100_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential r ~mean:5.0
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean ~5" true (Float.abs (mean -. 5.0) < 0.15)
+
+let test_rng_lognormal_mean () =
+  let r = Rng.create 13 in
+  let n = 200_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.lognormal_mean r ~mean:10.0 ~sigma:1.0
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean ~10 (got %f)" mean)
+    true
+    (Float.abs (mean -. 10.0) < 0.5)
+
+let test_rng_normal_moments () =
+  let r = Rng.create 17 in
+  let n = 100_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.normal r in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~0" true (Float.abs mean < 0.02);
+  Alcotest.(check bool) "var ~1" true (Float.abs (var -. 1.0) < 0.05)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 23 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ------------------------------- Heap ------------------------------ *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h ~priority:p p) [ 5; 3; 8; 1; 9; 2 ];
+  let out = ref [] in
+  let rec go () =
+    match Heap.pop h with
+    | Some (_, v) ->
+      out := v :: !out;
+      go ()
+    | None -> ()
+  in
+  go ();
+  check Alcotest.(list int) "sorted ascending" [ 1; 2; 3; 5; 8; 9 ] (List.rev !out)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~priority:7 v) [ "a"; "b"; "c" ];
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> "?" in
+  check Alcotest.string "fifo a" "a" (pop ());
+  check Alcotest.string "fifo b" "b" (pop ());
+  check Alcotest.string "fifo c" "c" (pop ())
+
+let test_heap_peek () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty peek" true (Heap.peek h = None);
+  Heap.push h ~priority:4 "x";
+  (match Heap.peek h with
+  | Some (4, "x") -> ()
+  | _ -> Alcotest.fail "peek mismatch");
+  check Alcotest.int "length unchanged by peek" 1 (Heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list (int_range (-1000) 1000))
+    (fun xs ->
+      let h = Heap.create () in
+      List.iter (fun x -> Heap.push h ~priority:x x) xs;
+      let rec drain acc =
+        match Heap.pop h with Some (_, v) -> drain (v :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare xs)
+
+(* ------------------------------ Bitset ----------------------------- *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check bool) "initially clear" false (Bitset.mem b 50);
+  Bitset.set b 50;
+  Alcotest.(check bool) "set" true (Bitset.mem b 50);
+  check Alcotest.int "cardinal" 1 (Bitset.cardinal b);
+  Bitset.set b 50;
+  check Alcotest.int "idempotent set" 1 (Bitset.cardinal b);
+  Bitset.clear b 50;
+  Alcotest.(check bool) "cleared" false (Bitset.mem b 50);
+  check Alcotest.int "cardinal zero" 0 (Bitset.cardinal b)
+
+let test_bitset_first_set_rotation () =
+  let b = Bitset.create 8 in
+  Bitset.set b 2;
+  Bitset.set b 6;
+  check Alcotest.(option int) "from 0" (Some 2) (Bitset.first_set b ~from:0);
+  check Alcotest.(option int) "from 3" (Some 6) (Bitset.first_set b ~from:3);
+  check Alcotest.(option int) "wraps" (Some 2) (Bitset.first_set b ~from:7);
+  Bitset.reset b;
+  check Alcotest.(option int) "empty" None (Bitset.first_set b ~from:0)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of range") (fun () ->
+      Bitset.set b (-1));
+  Alcotest.check_raises "too large" (Invalid_argument "Bitset: index out of range") (fun () ->
+      ignore (Bitset.mem b 10))
+
+let test_bitset_fill () =
+  let b = Bitset.create 65 in
+  Bitset.fill b;
+  check Alcotest.int "all set" 65 (Bitset.cardinal b);
+  check Alcotest.(list int) "to_list full" (List.init 65 (fun i -> i)) (Bitset.to_list b)
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset matches a reference set" ~count:200
+    QCheck.(list (pair bool (int_range 0 63)))
+    (fun ops ->
+      let b = Bitset.create 64 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (set, i) ->
+          if set then begin
+            Bitset.set b i;
+            Hashtbl.replace model i ()
+          end
+          else begin
+            Bitset.clear b i;
+            Hashtbl.remove model i
+          end)
+        ops;
+      Bitset.cardinal b = Hashtbl.length model
+      && List.for_all (fun i -> Bitset.mem b i = Hashtbl.mem model i) (List.init 64 (fun i -> i)))
+
+(* ------------------------------ Stats ------------------------------ *)
+
+let test_stats_basic () =
+  let s = Stats.Sample.create () in
+  List.iter (Stats.Sample.add s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  checkf "mean" 3.0 (Stats.Sample.mean s);
+  checkf "min" 1.0 (Stats.Sample.min s);
+  checkf "max" 5.0 (Stats.Sample.max s);
+  checkf "p0" 1.0 (Stats.Sample.percentile s 0.0);
+  checkf "p100" 5.0 (Stats.Sample.percentile s 100.0);
+  checkf "p50" 3.0 (Stats.Sample.percentile s 50.0);
+  checkf "p25 interp" 2.0 (Stats.Sample.percentile s 25.0)
+
+let test_stats_empty () =
+  let s = Stats.Sample.create () in
+  Alcotest.(check bool) "empty" true (Stats.Sample.is_empty s);
+  Alcotest.check_raises "percentile empty"
+    (Invalid_argument "Stats.Sample.percentile: empty sample") (fun () ->
+      ignore (Stats.Sample.percentile s 50.0))
+
+let test_stats_stddev () =
+  let s = Stats.Sample.create () in
+  List.iter (Stats.Sample.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check bool) "stddev ~2.138" true (Float.abs (Stats.Sample.stddev s -. 2.138) < 0.01)
+
+let test_running_matches_sample () =
+  let r = Stats.Running.create () and s = Stats.Sample.create () in
+  let rng = Rng.create 31 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng *. 100.0 in
+    Stats.Running.add r x;
+    Stats.Sample.add s x
+  done;
+  Alcotest.(check bool) "means agree" true
+    (Float.abs (Stats.Running.mean r -. Stats.Sample.mean s) < 1e-6);
+  Alcotest.(check bool) "max agree" true (Stats.Running.max r = Stats.Sample.max s)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile stays within [min,max] and is monotone" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 100) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let s = Stats.Sample.create () in
+      List.iter (Stats.Sample.add s) xs;
+      let lo = Stats.Sample.min s and hi = Stats.Sample.max s in
+      let ps = [ 0.0; 10.0; 50.0; 90.0; 99.0; 100.0 ] in
+      let vals = List.map (Stats.Sample.percentile s) ps in
+      List.for_all (fun v -> v >= lo -. 1e-9 && v <= hi +. 1e-9) vals
+      && List.for_all2 ( <= ) (List.filteri (fun i _ -> i < 5) vals) (List.tl vals))
+
+(* ---------------------------- Histogram ---------------------------- *)
+
+let test_histogram_binning () =
+  let h = Histogram.create ~lo:1.0 ~hi:1000.0 ~bins:3 in
+  Histogram.add h 2.0;
+  Histogram.add h 50.0;
+  Histogram.add h 500.0;
+  Histogram.add h 0.5 (* clamps low *);
+  Histogram.add h 5000.0 (* clamps high *);
+  check Alcotest.int "count" 5 (Histogram.count h);
+  check Alcotest.(array int) "counts" [| 2; 1; 2 |] (Histogram.counts h)
+
+let test_histogram_cumulative () =
+  let h = Histogram.create ~lo:1.0 ~hi:100.0 ~bins:2 in
+  Histogram.add h 2.0;
+  Histogram.add h 3.0;
+  Histogram.add h 50.0;
+  Histogram.add h 99.0;
+  let c = Histogram.cumulative h in
+  checkf "first half" 0.5 c.(0);
+  checkf "total" 1.0 c.(1)
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "bad bounds" (Invalid_argument "Histogram.create") (fun () ->
+      ignore (Histogram.create ~lo:10.0 ~hi:1.0 ~bins:4))
+
+(* --------------------------- Ascii table --------------------------- *)
+
+let test_ascii_table () =
+  let out = Bfc_util.Ascii_table.render ~header:[ "a"; "bb" ] [ [ "xxx"; "y" ]; [ "1"; "22" ] ] in
+  Alcotest.(check bool) "contains header" true (String.length out > 0);
+  let lines = String.split_on_char '\n' out in
+  check Alcotest.int "4 lines + trailing" 5 (List.length lines)
+
+let test_float_cell () =
+  check Alcotest.string "nan" "-" (Bfc_util.Ascii_table.float_cell nan);
+  check Alcotest.string "zero" "0" (Bfc_util.Ascii_table.float_cell 0.0);
+  check Alcotest.string "mid" "3.14" (Bfc_util.Ascii_table.float_cell 3.14159)
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
+    ("rng split", `Quick, test_rng_split_independent);
+    ("rng copy", `Quick, test_rng_copy);
+    ("rng int range", `Quick, test_rng_int_range);
+    ("rng int invalid", `Quick, test_rng_int_invalid);
+    ("rng float range", `Quick, test_rng_float_range);
+    ("rng exponential mean", `Quick, test_rng_exponential_mean);
+    ("rng lognormal mean", `Quick, test_rng_lognormal_mean);
+    ("rng normal moments", `Quick, test_rng_normal_moments);
+    ("rng shuffle", `Quick, test_rng_shuffle_permutation);
+    ("heap order", `Quick, test_heap_order);
+    ("heap fifo ties", `Quick, test_heap_fifo_ties);
+    ("heap peek", `Quick, test_heap_peek);
+    ("bitset basic", `Quick, test_bitset_basic);
+    ("bitset rotation", `Quick, test_bitset_first_set_rotation);
+    ("bitset bounds", `Quick, test_bitset_bounds);
+    ("bitset fill", `Quick, test_bitset_fill);
+    ("stats basic", `Quick, test_stats_basic);
+    ("stats empty", `Quick, test_stats_empty);
+    ("stats stddev", `Quick, test_stats_stddev);
+    ("running matches sample", `Quick, test_running_matches_sample);
+    ("histogram binning", `Quick, test_histogram_binning);
+    ("histogram cumulative", `Quick, test_histogram_cumulative);
+    ("histogram invalid", `Quick, test_histogram_invalid);
+    ("ascii table", `Quick, test_ascii_table);
+    ("float cell", `Quick, test_float_cell);
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_bitset_model;
+    QCheck_alcotest.to_alcotest prop_percentile_bounds;
+  ]
