@@ -114,7 +114,121 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"One ad-hoc Clos run with chosen scheme/workload/load")
     Term.(const run $ profile_arg $ scheme $ dist $ load $ incast $ seed)
 
+let faults_cmd =
+  let module Time = Bfc_engine.Time in
+  let module Topology = Bfc_net.Topology in
+  let module Flow = Bfc_net.Flow in
+  let module Loss = Bfc_fault.Loss in
+  let module Injector = Bfc_fault.Injector in
+  let module Auditor = Bfc_fault.Auditor in
+  let scheme = Arg.(value & opt scheme_conv Scheme.bfc & info [ "scheme" ] ~docv:"SCHEME") in
+  let senders = Arg.(value & opt int 32 & info [ "senders" ] ~docv:"N") in
+  let size = Arg.(value & opt int 64_000 & info [ "size" ] ~docv:"BYTES") in
+  let resume_loss =
+    Arg.(value & opt float 0.0
+        & info [ "resume-loss" ] ~docv:"P" ~doc:"Drop each Resume frame with probability $(docv).")
+  in
+  let ctrl_loss =
+    Arg.(value & opt float 0.0
+        & info [ "ctrl-loss" ] ~docv:"P"
+            ~doc:"Drop each control frame (Pause/Resume/bitmap/PFC) with probability $(docv).")
+  in
+  let data_loss =
+    Arg.(value & opt float 0.0
+        & info [ "data-loss" ] ~docv:"P"
+            ~doc:"Corrupt each data packet with probability $(docv) (lost at the receiver).")
+  in
+  let watchdog =
+    Arg.(value & opt float 50.0
+        & info [ "watchdog" ] ~docv:"US"
+            ~doc:"Pause-watchdog timeout in microseconds; 0 disables it.")
+  in
+  let flaps =
+    Arg.(value & opt int 0
+        & info [ "flaps" ] ~docv:"N" ~doc:"Flap the bottleneck link $(docv) times (10us down/100us period).")
+  in
+  let reboot_at =
+    Arg.(value & opt (some float) None
+        & info [ "reboot-at" ] ~docv:"US" ~doc:"Crash and reboot the switch at $(docv) microseconds.")
+  in
+  let no_audit = Arg.(value & flag & info [ "no-audit" ] ~doc:"Skip the invariant auditor.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
+  let run scheme senders size resume_loss ctrl_loss data_loss watchdog flaps reboot_at no_audit seed
+      =
+    List.iter
+      (fun (flag, p) ->
+        if not (p >= 0.0 && p <= 1.0) then begin
+          Printf.eprintf "bfc_sim: %s must be a probability in [0, 1] (got %g)\n" flag p;
+          exit 2
+        end)
+      [ ("--resume-loss", resume_loss); ("--ctrl-loss", ctrl_loss); ("--data-loss", data_loss) ];
+    let sim = Bfc_engine.Sim.create () in
+    let st = Topology.star sim ~senders ~gbps:100.0 ~prop:(Time.us 1.0) in
+    let params =
+      {
+        Runner.default_params with
+        Runner.pause_watchdog = (if watchdog > 0.0 then Some (Time.us watchdog) else None);
+        seed;
+      }
+    in
+    let env = Runner.setup ~topo:st.Topology.s ~scheme ~params in
+    let inj = Injector.attach env in
+    let loss = Loss.create ~seed in
+    if resume_loss > 0.0 then Loss.add_prob loss ~p:resume_loss Loss.resumes;
+    if ctrl_loss > 0.0 then Loss.add_prob loss ~p:ctrl_loss Loss.ctrl;
+    if data_loss > 0.0 then Loss.add_prob loss ~corrupt:true ~p:data_loss Loss.data;
+    Injector.set_loss_everywhere inj loss;
+    let lossy = resume_loss > 0.0 || ctrl_loss > 0.0 || flaps > 0 || reboot_at <> None in
+    let aud =
+      if no_audit then None
+      else
+        Some
+          (Auditor.attach
+             ~config:
+               {
+                 Auditor.default_config with
+                 Auditor.check_pairing = not lossy;
+                 fail_fast = false;
+               }
+             env)
+    in
+    if flaps > 0 then
+      Injector.flap inj ~gid:st.Topology.st_bottleneck_gid ~start:(Time.us 30.0)
+        ~down_for:(Time.us 10.0) ~period:(Time.us 100.0) ~count:flaps;
+    (match reboot_at with
+    | None -> ()
+    | Some us ->
+      ignore
+        (Bfc_engine.Sim.at sim (Time.us us) (fun () ->
+             ignore
+               (Injector.reboot_switch inj ~node:st.Topology.st_switch ~down_for:(Time.us 20.0) ()))));
+    let flows =
+      List.init senders (fun i ->
+          Flow.make ~id:i ~src:st.Topology.st_senders.(i) ~dst:st.Topology.st_receiver ~size
+            ~arrival:(Time.us (0.1 *. float_of_int i))
+            ~is_incast:true ())
+    in
+    Runner.inject env flows;
+    Runner.run env ~until:(Time.ms 1.0);
+    Runner.drain env ~budget:(Time.ms 30.0);
+    Printf.printf "scheme=%s completed=%d/%d drops=%d faults=%d (%d corrupted) watchdog=%d reboots=%d\n"
+      (Scheme.name scheme) (Runner.completed env) (Runner.injected env) (Runner.total_drops env)
+      (Injector.faults_injected inj) (Loss.corrupted loss) (Metrics.watchdog_fires env)
+      (Metrics.reboots env);
+    match aud with
+    | None -> ()
+    | Some aud ->
+      Auditor.check aud;
+      Printf.printf "audit: %d sweeps, %d violations\n" (Auditor.checks_run aud)
+        (Auditor.violation_count aud);
+      List.iter (fun v -> Printf.printf "  ! %s\n" (Auditor.to_string v)) (Auditor.violations aud)
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc:"Incast under injected faults with the invariant auditor attached")
+    Term.(const run $ scheme $ senders $ size $ resume_loss $ ctrl_loss $ data_loss $ watchdog
+          $ flaps $ reboot_at $ no_audit $ seed)
+
 let () =
   let doc = "Backpressure Flow Control (NSDI 2022) reproduction" in
   let info = Cmd.info "bfc_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sweep_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sweep_cmd; faults_cmd ]))

@@ -110,7 +110,7 @@ let classify t _sw ~in_port:_ ~egress pkt =
       cls * t.qpc (* dedicated incast queue: local 0 of the class *)
     end
     else begin
-      let sampled = t.cfg.sampling >= 1.0 || Bfc_util.Rng.float t.rng < t.cfg.sampling in
+      let sampled = t.cfg.sampling >= 1.0 || Bfc_util.Rng.bernoulli t.rng t.cfg.sampling in
       pkt.Packet.bp_sampled <- sampled;
       let e = Flow_table.entry t.ft ~egress ~fid_hash:(Flow.hash flow) in
       let stale = now t - e.Flow_table.last > t.sticky in
@@ -236,6 +236,19 @@ let apply_ctrl ~set_paused ~n_queues pkt =
       set_paused ~queue:q want.(q)
     done
   | _ -> ()
+
+(* Wipe the dataplane program's state alongside a switch reboot: the flow
+   table, pause counters, DQA bitmaps and occupancy diagnostics all restart
+   from scratch (the reloaded P4 program has no memory of the old run). *)
+let reset t =
+  Flow_table.reset t.ft;
+  Pause_counter.reset t.pc;
+  Dqa.reset t.dqa;
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.occupancy;
+  if t.cfg.incast_label then
+    for d = 0 to (Switch.n_ports t.sw * t.classes) - 1 do
+      Dqa.mark_occupied t.dqa ~egress:d ~queue:0
+    done
 
 let on_ctrl t _sw ~in_port pkt =
   match pkt.Packet.kind with

@@ -80,3 +80,8 @@ val data_queues : t -> int
     implementation. *)
 val apply_ctrl :
   set_paused:(queue:int -> bool -> unit) -> n_queues:int -> Bfc_net.Packet.t -> unit
+
+(** Wipe flow table, pause counters, DQA bitmaps and occupancy diagnostics;
+    call together with {!Bfc_switch.Switch.reboot} so the dataplane state
+    matches the flushed switch. *)
+val reset : t -> unit

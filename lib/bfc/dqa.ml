@@ -39,3 +39,7 @@ let mark_occupied t ~egress ~queue = Bfc_util.Bitset.clear t.empty.(egress) queu
 let empty_count t ~egress = Bfc_util.Bitset.cardinal t.empty.(egress)
 
 let is_empty_queue t ~egress ~queue = Bfc_util.Bitset.mem t.empty.(egress) queue
+
+let reset t =
+  Array.iter Bfc_util.Bitset.fill t.empty;
+  Array.fill t.rot 0 (Array.length t.rot) 0

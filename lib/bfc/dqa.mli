@@ -29,3 +29,6 @@ val mark_occupied : t -> egress:int -> queue:int -> unit
 val empty_count : t -> egress:int -> int
 
 val is_empty_queue : t -> egress:int -> queue:int -> bool
+
+(** Every queue back to empty, scan starts rewound (switch reboot). *)
+val reset : t -> unit

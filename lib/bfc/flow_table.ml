@@ -19,3 +19,14 @@ let entry t ~egress ~fid_hash = t.tables.(egress).(fid_hash mod t.slots)
 
 let occupied t ~egress =
   Array.fold_left (fun acc e -> if e.size > 0 then acc + 1 else acc) 0 t.tables.(egress)
+
+let reset t =
+  Array.iter
+    (fun tbl ->
+      Array.iter
+        (fun e ->
+          e.q <- -1;
+          e.size <- 0;
+          e.last <- min_int)
+        tbl)
+    t.tables

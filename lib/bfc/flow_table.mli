@@ -28,3 +28,6 @@ val entry : t -> egress:int -> fid_hash:int -> entry
 
 (** Entries with [size > 0] at an egress (diagnostics). *)
 val occupied : t -> egress:int -> int
+
+(** Wipe every entry back to its initial state (switch reboot). *)
+val reset : t -> unit

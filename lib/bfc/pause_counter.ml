@@ -39,3 +39,5 @@ let paused_queues t ~ingress =
 
 let total t =
   Array.fold_left (fun a row -> Array.fold_left ( + ) a row) 0 t.counters
+
+let reset t = Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.counters

@@ -30,3 +30,7 @@ val paused_queues : t -> ingress:int -> int list
 (** Sum of all counters (invariant checking: must equal the number of
     marked packets resident in the switch). *)
 val total : t -> int
+
+(** Zero every counter (switch reboot). The upstream queues the counters
+    held paused get no Resume; their pause watchdogs must recover them. *)
+val reset : t -> unit

@@ -61,11 +61,22 @@ let run t ~until =
 
 let safety_cap = 1 lsl 30
 
-let run_until_idle t =
+exception Runaway of { now : Time.t; pending_events : int }
+
+let () =
+  Printexc.register_printer (function
+    | Runaway { now; pending_events } ->
+      Some
+        (Printf.sprintf "Sim.Runaway (event cap exceeded at t=%dns with %d pending events)" now
+           pending_events)
+    | _ -> None)
+
+let run_until_idle ?(cap = safety_cap) t =
   let executed = ref 0 in
   while not (Bfc_util.Heap.is_empty t.heap) do
     if step t then incr executed;
-    if !executed > safety_cap then failwith "Sim.run_until_idle: event cap exceeded"
+    if !executed > cap then
+      raise (Runaway { now = t.clock; pending_events = Bfc_util.Heap.length t.heap })
   done;
   !executed
 

@@ -40,10 +40,16 @@ val stop_ticker : ticker -> unit
     [until] (or at the last event time if the heap drained first). *)
 val run : t -> until:Time.t -> int
 
+(** Raised by [run_until_idle] when the event count exceeds the safety cap:
+    the simulation is executing events but not converging (e.g. a pause
+    storm, a retransmission livelock). Carries the virtual time reached and
+    the number of events still pending so the stall is diagnosable. *)
+exception Runaway of { now : Time.t; pending_events : int }
+
 (** [run_until_idle t] processes everything; intended for closed workloads
     with a natural end. Returns events executed.
-    Raises [Failure] after a safety cap of 2^30 events. *)
-val run_until_idle : t -> int
+    Raises {!Runaway} after [cap] events (default 2^30). *)
+val run_until_idle : ?cap:int -> t -> int
 
 (** Number of events still in the heap (including cancelled tombstones);
     for diagnostics only. *)

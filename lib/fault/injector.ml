@@ -1,0 +1,118 @@
+module Sim = Bfc_engine.Sim
+module Time = Bfc_engine.Time
+module Topology = Bfc_net.Topology
+module Node = Bfc_net.Node
+module Port = Bfc_net.Port
+module Switch = Bfc_switch.Switch
+module Dataplane = Bfc_core.Dataplane
+module Runner = Bfc_sim.Runner
+module Tracer = Bfc_sim.Tracer
+
+(* Per directed port: the injector owns the port's fault predicate and
+   composes link-down state with an optional loss model. *)
+type link_state = { lport : Port.t; mutable down : bool; mutable loss : Loss.t option }
+
+type t = {
+  env : Runner.env;
+  tracer : Tracer.t option;
+  links : (int, link_state) Hashtbl.t; (* gid -> state *)
+}
+
+let attach ?tracer env = { env; tracer; links = Hashtbl.create 64 }
+
+let note t ~node ev =
+  match t.tracer with None -> () | Some tr -> Tracer.note tr t.env ~node ev
+
+let state t ~gid =
+  match Hashtbl.find_opt t.links gid with
+  | Some s -> s
+  | None ->
+    let p = Topology.port_by_gid (Runner.topo t.env) gid in
+    let s = { lport = p; down = false; loss = None } in
+    Port.set_fault p (fun pkt ->
+        s.down || (match s.loss with Some l -> Loss.decide l pkt | None -> false));
+    Hashtbl.add t.links gid s;
+    s
+
+(* The opposite direction of the same link: the peer's egress port whose
+   local index is where our packets arrive. *)
+let reverse_port t p =
+  let topo = Runner.topo t.env in
+  (Topology.ports topo (Port.peer p).Node.id).(Port.peer_port p)
+
+(* The node that owns (transmits on) a directed port. *)
+let owner t p = (Port.peer (reverse_port t p)).Node.id
+
+let set_loss t ~gid loss = (state t ~gid).loss <- Some loss
+
+let clear_loss t ~gid = (state t ~gid).loss <- None
+
+let set_loss_everywhere t loss =
+  let topo = Runner.topo t.env in
+  for gid = 0 to Topology.total_ports topo - 1 do
+    set_loss t ~gid loss
+  done
+
+let set_directed_down t ~gid down = (state t ~gid).down <- down
+
+let link_down t ~gid =
+  let s = state t ~gid in
+  if not s.down then begin
+    s.down <- true;
+    (state t ~gid:(Port.gid (reverse_port t s.lport))).down <- true;
+    note t ~node:(owner t s.lport) (Tracer.Link_down { gid })
+  end
+
+let link_up t ~gid =
+  let s = state t ~gid in
+  if s.down then begin
+    s.down <- false;
+    (state t ~gid:(Port.gid (reverse_port t s.lport))).down <- false;
+    note t ~node:(owner t s.lport) (Tracer.Link_up { gid })
+  end
+
+let flap t ~gid ~start ~down_for ~period ~count =
+  if down_for <= 0 || period <= down_for then invalid_arg "Injector.flap: down_for/period";
+  let sim = Runner.sim t.env in
+  for i = 0 to count - 1 do
+    let at = start + (i * period) in
+    ignore (Sim.at sim at (fun () -> link_down t ~gid));
+    ignore (Sim.at sim (at + down_for) (fun () -> link_up t ~gid))
+  done
+
+let find_switch t ~node =
+  let found = ref None in
+  Array.iter
+    (fun sw -> if Switch.node_id sw = node then found := Some sw)
+    (Runner.switches t.env);
+  match !found with
+  | Some sw -> sw
+  | None -> invalid_arg (Printf.sprintf "Injector: node %d is not a switch" node)
+
+let find_dataplane t ~node =
+  let found = ref None in
+  Array.iter
+    (fun dp -> if Switch.node_id (Dataplane.switch dp) = node then found := Some dp)
+    (Runner.dataplanes t.env);
+  !found
+
+let reboot_switch t ~node ?down_for () =
+  let sw = find_switch t ~node in
+  (* Take the switch's links down first so in-flight deliveries during the
+     outage are lost too, then flush. The tracer logs the reboot through
+     the switch's [on_reboot] hook. *)
+  (match down_for with
+  | None -> ()
+  | Some d ->
+    let sim = Runner.sim t.env in
+    for e = 0 to Switch.n_ports sw - 1 do
+      let gid = Port.gid (Switch.port sw e) in
+      link_down t ~gid;
+      ignore (Sim.after sim d (fun () -> link_up t ~gid))
+    done);
+  let flushed = Switch.reboot sw in
+  (match find_dataplane t ~node with Some dp -> Dataplane.reset dp | None -> ());
+  flushed
+
+let faults_injected t =
+  Hashtbl.fold (fun _ s acc -> acc + Port.faults_injected s.lport) t.links 0

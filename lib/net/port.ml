@@ -43,8 +43,16 @@ let tx_bytes t = t.tx_bytes
 
 let set_on_idle t f = t.on_idle <- f
 
+exception Busy of { gid : int; now : Bfc_engine.Time.t }
+
+let () =
+  Printexc.register_printer (function
+    | Busy { gid; now } ->
+      Some (Printf.sprintf "Port.Busy (send on busy transmitter, port gid=%d, t=%dns)" gid now)
+    | _ -> None)
+
 let send t pkt =
-  if t.busy then failwith "Port.send: transmitter busy";
+  if t.busy then raise (Busy { gid = t.gid; now = Bfc_engine.Sim.now t.sim });
   t.busy <- true;
   let ser = Bfc_engine.Time.tx_time ~gbps:t.gbps ~bytes:pkt.Packet.size in
   t.tx_bytes <- t.tx_bytes + pkt.Packet.size;

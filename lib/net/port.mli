@@ -37,7 +37,13 @@ val busy : t -> bool
 (** Cumulative bytes serialized on this port (data path only). *)
 val tx_bytes : t -> int
 
-(** [send t pkt] starts serializing [pkt]. Raises if the port is busy. *)
+(** Raised by [send] when the transmitter is already serializing a packet —
+    a device scheduling bug. Carries the global port id and the simulation
+    time at which the violation happened. *)
+exception Busy of { gid : int; now : Bfc_engine.Time.t }
+
+(** [send t pkt] starts serializing [pkt]. Raises {!Busy} if the port is
+    busy. *)
 val send : t -> Packet.t -> unit
 
 (** Deliver a control packet after the propagation delay, bypassing the

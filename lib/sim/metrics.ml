@@ -138,6 +138,18 @@ let watch_queue_delay env ~filter =
     (Runner.switches env);
   s
 
+let watchdog_fires env =
+  let sw =
+    Array.fold_left (fun acc s -> acc + Switch.watchdog_fires s) 0 (Runner.switches env)
+  in
+  Array.fold_left
+    (fun acc h -> acc + Bfc_transport.Host.watchdog_fires (Runner.host env h))
+    sw
+    (Bfc_net.Topology.hosts (Runner.topo env))
+
+let reboots env =
+  Array.fold_left (fun acc s -> acc + Switch.reboots s) 0 (Runner.switches env)
+
 let jain_fairness env ~min_size ?(max_size = max_int) flows =
   ignore env;
   let xs =

@@ -61,6 +61,12 @@ val utilization : util_probe -> float
 val watch_queue_delay :
   Runner.env -> filter:(sw:int -> egress:int -> bool) -> Bfc_util.Stats.Sample.t
 
+(** Total pause-watchdog force-resumes across every switch and host NIC. *)
+val watchdog_fires : Runner.env -> int
+
+(** Total switch reboots injected so far. *)
+val reboots : Runner.env -> int
+
 (** Jain's fairness index over per-flow average throughputs
     ((Σx)² / (n·Σx²)); 1.0 = perfectly fair. Computed over completed flows
     of at least [min_size] bytes (throughput of tiny flows is noise). *)

@@ -20,6 +20,7 @@ type params = {
   track_active_flows : bool;
   deadlock_filter : bool;
   classes : int;
+  pause_watchdog : Time.t option;
   seed : int;
 }
 
@@ -34,6 +35,7 @@ let default_params =
     track_active_flows = false;
     deadlock_filter = false;
     classes = 1;
+    pause_watchdog = None;
     seed = 42;
   }
 
@@ -114,7 +116,14 @@ let extra_header_of = function
   | _ -> 0
 
 let switch_config (s : Scheme.t) (p : params) : Switch.config =
-  let base = { Switch.default_config with mtu = p.mtu; buffer_bytes = p.buffer_bytes } in
+  let base =
+    {
+      Switch.default_config with
+      mtu = p.mtu;
+      buffer_bytes = p.buffer_bytes;
+      pause_watchdog = p.pause_watchdog;
+    }
+  in
   let ecn = Some { Switch.kmin = p.ecn_kmin; kmax = p.ecn_kmax; pmax = 1.0 } in
   let pfc = Some { Switch.threshold_frac = p.pfc_frac; resume_frac = 0.8 } in
   match s with
@@ -233,6 +242,7 @@ let host_config (s : Scheme.t) (p : params) ~base_rtt ~bdp ~line_gbps : Host.con
       bdp;
       line_gbps;
       nic_queues = nic_queues_of s;
+      pause_watchdog = p.pause_watchdog;
       seed = p.seed;
       rto = max (Time.us 200.0) (10 * base_rtt);
     }

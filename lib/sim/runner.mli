@@ -14,6 +14,10 @@ type params = {
   track_active_flows : bool;
   deadlock_filter : bool; (** install the App. B elision table *)
   classes : int; (** traffic classes (Fig. 20) *)
+  pause_watchdog : Bfc_engine.Time.t option;
+      (** arm the pause watchdog on every switch and host NIC: a queue held
+          paused longer than this is force-resumed (lost-Resume recovery).
+          [None] (the default) disables it. *)
   seed : int;
 }
 

@@ -10,6 +10,10 @@ type kind =
   | Pfc_rx of { pause : bool }
   | Hop_credit_rx of { queue : int; bytes : int }
   | Dropped of { flow : int }
+  | Watchdog_fire of { egress : int; queue : int }
+  | Link_down of { gid : int }
+  | Link_up of { gid : int }
+  | Rebooted of { flushed : int }
 
 type event = { at : Bfc_engine.Time.t; node : int; ev : kind }
 
@@ -60,9 +64,21 @@ let attach env ~capacity =
         (fun sw ~in_port ~egress ~queue pkt ->
           prev sw ~in_port ~egress ~queue pkt;
           record t (Bfc_engine.Sim.now sim) (Switch.node_id sw)
-            (Dropped { flow = Packet.flow_id pkt })))
+            (Dropped { flow = Packet.flow_id pkt }));
+      let prev_wd = hk.Switch.on_watchdog in
+      hk.Switch.on_watchdog <-
+        (fun sw ~egress ~queue ->
+          prev_wd sw ~egress ~queue;
+          record t (Bfc_engine.Sim.now sim) (Switch.node_id sw) (Watchdog_fire { egress; queue }));
+      let prev_rb = hk.Switch.on_reboot in
+      hk.Switch.on_reboot <-
+        (fun sw ~flushed ->
+          prev_rb sw ~flushed;
+          record t (Bfc_engine.Sim.now sim) (Switch.node_id sw) (Rebooted { flushed })))
     (Runner.switches env);
   t
+
+let note t env ~node ev = record t (Bfc_engine.Sim.now (Runner.sim env)) node ev
 
 let events t =
   (* slot [t.next] holds the oldest event once the ring has wrapped *)
@@ -87,7 +103,8 @@ let pause_balance t =
       match e.ev with
       | Pause_rx _ -> Hashtbl.replace tbl e.node (p + 1, r)
       | Resume_rx _ -> Hashtbl.replace tbl e.node (p, r + 1)
-      | Bitmap_rx _ | Pfc_rx _ | Hop_credit_rx _ | Dropped _ -> ())
+      | Bitmap_rx _ | Pfc_rx _ | Hop_credit_rx _ | Dropped _ | Watchdog_fire _ | Link_down _
+      | Link_up _ | Rebooted _ -> ())
     (events t);
   Hashtbl.fold (fun node (p, r) acc -> (node, p, r) :: acc) tbl []
   |> List.sort compare
@@ -99,6 +116,12 @@ let kind_to_string = function
   | Pfc_rx { pause } -> if pause then "PFC     pause" else "PFC     resume"
   | Hop_credit_rx { queue; bytes } -> Printf.sprintf "CREDIT  q=%d +%dB" queue bytes
   | Dropped { flow } -> Printf.sprintf "DROP    flow=%d" flow
+  | Watchdog_fire { egress; queue } ->
+    if queue < 0 then Printf.sprintf "WDOG    egress=%d (pfc)" egress
+    else Printf.sprintf "WDOG    egress=%d q=%d" egress queue
+  | Link_down { gid } -> Printf.sprintf "LINK-   gid=%d" gid
+  | Link_up { gid } -> Printf.sprintf "LINK+   gid=%d" gid
+  | Rebooted { flushed } -> Printf.sprintf "REBOOT  flushed=%d" flushed
 
 let render ?(limit = 50) t =
   let buf = Buffer.create 1024 in

@@ -13,6 +13,11 @@ type kind =
   | Pfc_rx of { pause : bool }
   | Hop_credit_rx of { queue : int; bytes : int }
   | Dropped of { flow : int }
+  | Watchdog_fire of { egress : int; queue : int }
+      (** pause watchdog force-resume; [queue = -1] = PFC port unpause *)
+  | Link_down of { gid : int }  (** fault injector took the link down *)
+  | Link_up of { gid : int }
+  | Rebooted of { flushed : int }  (** switch reboot; packets lost *)
 
 type event = { at : Bfc_engine.Time.t; node : int; ev : kind }
 
@@ -22,6 +27,10 @@ type t
     events; oldest dropped first). Call after [Runner.setup], before
     running. *)
 val attach : Runner.env -> capacity:int -> t
+
+(** Record an out-of-band event (the fault injector announces link state
+    changes and reboots through this). *)
+val note : t -> Runner.env -> node:int -> kind -> unit
 
 (** Events in chronological order (oldest first). *)
 val events : t -> event list

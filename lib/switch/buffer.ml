@@ -36,3 +36,7 @@ let on_dequeue t ~in_port ~size =
     t.ingress_used.(in_port) <- t.ingress_used.(in_port) - size
 
 let ingress_used t i = t.ingress_used.(i)
+
+let reset t =
+  t.used <- 0;
+  Array.fill t.ingress_used 0 (Array.length t.ingress_used) 0

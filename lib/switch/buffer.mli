@@ -28,3 +28,7 @@ val on_enqueue : t -> in_port:int -> size:int -> unit
 val on_dequeue : t -> in_port:int -> size:int -> unit
 
 val ingress_used : t -> int -> int
+
+(** Zero all accounting (total and per-ingress). Only meaningful together
+    with flushing the queues that were counted (switch reboot). *)
+val reset : t -> unit

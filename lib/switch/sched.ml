@@ -135,6 +135,20 @@ let next t =
   in
   by_class 0
 
+let flush t f =
+  Array.iter
+    (fun q ->
+      while not (Fifo.is_empty q) do
+        f (Fifo.pop q)
+      done;
+      q.Fifo.paused <- false;
+      q.Fifo.deficit <- 0;
+      q.Fifo.in_ring <- false)
+    t.queues;
+  Array.iter Queue.clear t.rings;
+  t.nonempty <- 0;
+  t.nonempty_paused <- 0
+
 let n_active t = t.nonempty - t.nonempty_paused
 
 let n_backlogged t = t.nonempty

@@ -39,6 +39,12 @@ val set_paused : t -> Fifo.t -> bool -> unit
     no queue is eligible. Updates DRR deficits. Returns the queue served. *)
 val next : t -> (Fifo.t * Bfc_net.Packet.t) option
 
+(** [flush t f] empties every queue, calling [f] on each resident packet
+    (oldest first per queue), and resets all scheduler state: pauses,
+    deficits, candidate rings, backlog counts. Models a device losing its
+    buffered packets (switch drain / reboot). *)
+val flush : t -> (Bfc_net.Packet.t -> unit) -> unit
+
 (** Number of active queues: non-empty and not paused (the paper's
     N_active, used for the pause threshold Th). *)
 val n_active : t -> int

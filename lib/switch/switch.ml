@@ -18,6 +18,7 @@ type config = {
   int_stamping : bool;
   track_active_flows : bool;
   mtu : int;
+  pause_watchdog : Bfc_engine.Time.t option;
 }
 
 let default_config =
@@ -32,6 +33,7 @@ let default_config =
     int_stamping = false;
     track_active_flows = false;
     mtu = 1000;
+    pause_watchdog = None;
   }
 
 type egress = {
@@ -43,6 +45,9 @@ type egress = {
   mutable epfc_paused : bool;
   mutable epfc_since : Bfc_engine.Time.t;
   mutable epfc_total : int;
+  mutable epfc_epoch : int; (* invalidates scheduled PFC watchdog checks *)
+  ewd_since : Bfc_engine.Time.t array; (* per queue: pause start, -1 = not paused *)
+  ewd_epoch : int array; (* invalidates scheduled per-queue watchdog checks *)
   eflows : (int, int ref) Hashtbl.t; (* flow id -> queued pkts, if tracking *)
 }
 
@@ -59,6 +64,8 @@ type t = {
   mutable data_drops : int;
   mutable tx_packets : int;
   mutable rx_packets : int;
+  mutable watchdog_fires : int;
+  mutable reboot_count : int;
   max_hrtt : Bfc_engine.Time.t;
   rng : Bfc_util.Rng.t;
 }
@@ -73,6 +80,8 @@ and hooks = {
   mutable on_ctrl : t -> in_port:int -> Packet.t -> bool;
   mutable on_pkt_departed : t -> egress:int -> Packet.t -> delay:int -> unit;
   mutable admit : t -> egress:int -> queue:int -> Packet.t -> bool;
+  mutable on_watchdog : t -> egress:int -> queue:int -> unit;
+  mutable on_reboot : t -> flushed:int -> unit;
 }
 
 let nop_classify _ ~in_port:_ ~egress:_ pkt =
@@ -88,6 +97,8 @@ let default_hooks () =
     on_ctrl = (fun _ ~in_port:_ _ -> false);
     on_pkt_departed = (fun _ ~egress:_ _ ~delay:_ -> ());
     admit = (fun _ ~egress:_ ~queue:_ _ -> true);
+    on_watchdog = (fun _ ~egress:_ ~queue:_ -> ());
+    on_reboot = (fun _ ~flushed:_ -> ());
   }
 
 let hooks t = t.hk
@@ -210,10 +221,36 @@ let try_send t e =
 
 let kick t ~egress = try_send t t.egresses.(egress)
 
-let set_queue_paused t ~egress ~queue paused =
+(* The pause watchdog (the standard PFC-watchdog defense, applied to BFC's
+   per-queue pauses): a queue paused longer than the configured timeout is
+   force-resumed, on the assumption that the Resume (or the link carrying
+   it) was lost. Every pause assertion re-arms the deadline, so periodic
+   bitmap refreshes keep a legitimately-paused queue paused. *)
+let rec set_queue_paused t ~egress ~queue paused =
   let e = t.egresses.(egress) in
   Sched.set_paused e.esched e.equeues.(queue) paused;
-  if not paused then try_send t e
+  e.ewd_epoch.(queue) <- e.ewd_epoch.(queue) + 1;
+  if paused then begin
+    e.ewd_since.(queue) <- Sim.now t.sim;
+    arm_queue_watchdog t e ~queue
+  end
+  else begin
+    e.ewd_since.(queue) <- -1;
+    try_send t e
+  end
+
+and arm_queue_watchdog t e ~queue =
+  match t.cfg.pause_watchdog with
+  | None -> ()
+  | Some timeout ->
+    let epoch = e.ewd_epoch.(queue) in
+    ignore
+      (Sim.after t.sim timeout (fun () ->
+           if e.ewd_epoch.(queue) = epoch && e.equeues.(queue).Fifo.paused then begin
+             t.watchdog_fires <- t.watchdog_fires + 1;
+             t.hk.on_watchdog t ~egress:e.eidx ~queue;
+             set_queue_paused t ~egress:e.eidx ~queue false
+           end))
 
 (* ------------------------------------------------------------------ *)
 (* Receive path                                                        *)
@@ -227,7 +264,7 @@ let ecn_mark t q pkt =
       if b > kmax then pkt.Packet.ecn <- true
       else if b > kmin then begin
         let p = pmax *. float_of_int (b - kmin) /. float_of_int (kmax - kmin) in
-        if Bfc_util.Rng.float t.rng < p then pkt.Packet.ecn <- true
+        if Bfc_util.Rng.bernoulli t.rng p then pkt.Packet.ecn <- true
       end
     end
 
@@ -247,18 +284,35 @@ let pfc_check_pause t in_port =
       end
     end
 
+let pfc_unpause t e =
+  e.epfc_paused <- false;
+  e.epfc_total <- e.epfc_total + (Sim.now t.sim - e.epfc_since);
+  e.epfc_epoch <- e.epfc_epoch + 1;
+  try_send t e
+
+let arm_pfc_watchdog t e =
+  match t.cfg.pause_watchdog with
+  | None -> ()
+  | Some timeout ->
+    let epoch = e.epfc_epoch in
+    ignore
+      (Sim.after t.sim timeout (fun () ->
+           if e.epfc_epoch = epoch && e.epfc_paused then begin
+             t.watchdog_fires <- t.watchdog_fires + 1;
+             t.hk.on_watchdog t ~egress:e.eidx ~queue:(-1);
+             pfc_unpause t e
+           end))
+
 let handle_pfc t ~in_port pkt =
   let e = t.egresses.(in_port) in
   let pause = pkt.Packet.ctrl_b = 1 in
   if pause && not e.epfc_paused then begin
     e.epfc_paused <- true;
-    e.epfc_since <- Sim.now t.sim
+    e.epfc_since <- Sim.now t.sim;
+    e.epfc_epoch <- e.epfc_epoch + 1;
+    arm_pfc_watchdog t e
   end
-  else if (not pause) && e.epfc_paused then begin
-    e.epfc_paused <- false;
-    e.epfc_total <- e.epfc_total + (Sim.now t.sim - e.epfc_since);
-    try_send t e
-  end
+  else if (not pause) && e.epfc_paused then pfc_unpause t e
 
 let forward t ~in_port pkt =
   let egress = t.route t ~in_port pkt in
@@ -285,6 +339,51 @@ let forward t ~in_port pkt =
     pfc_check_pause t in_port;
     try_send t e
   end
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection support                                             *)
+
+(* Crash-and-restart: the shared buffer is flushed (resident packets are
+   lost and counted as drops), pause state, PFC latches and per-flow
+   tracking reset — as if the dataplane program was reloaded. Upstream
+   devices our pause counters held paused get no Resume (we crashed);
+   recovering them is the pause watchdog's job. Returns the number of
+   packets lost. *)
+let reboot t =
+  let flushed = ref 0 in
+  Array.iter
+    (fun e ->
+      Sched.flush e.esched (fun pkt ->
+          incr flushed;
+          t.drops <- t.drops + 1;
+          if pkt.Packet.kind = Packet.Data then t.data_drops <- t.data_drops + 1);
+      e.ebytes <- 0;
+      if e.epfc_paused then begin
+        e.epfc_paused <- false;
+        e.epfc_total <- e.epfc_total + (Sim.now t.sim - e.epfc_since)
+      end;
+      e.epfc_epoch <- e.epfc_epoch + 1;
+      Array.fill e.ewd_since 0 (Array.length e.ewd_since) (-1);
+      for q = 0 to Array.length e.ewd_epoch - 1 do
+        e.ewd_epoch.(q) <- e.ewd_epoch.(q) + 1
+      done;
+      Hashtbl.reset e.eflows)
+    t.egresses;
+  Buffer.reset t.buffer;
+  Array.fill t.pfc_sent 0 (Array.length t.pfc_sent) false;
+  t.reboot_count <- t.reboot_count + 1;
+  t.hk.on_reboot t ~flushed:!flushed;
+  !flushed
+
+let reboots t = t.reboot_count
+
+let watchdog_fires t = t.watchdog_fires
+
+let queue_paused t ~egress ~queue = t.egresses.(egress).equeues.(queue).Fifo.paused
+
+let queue_paused_since t ~egress ~queue =
+  let since = t.egresses.(egress).ewd_since.(queue) in
+  if since < 0 then None else Some since
 
 let receive t ~in_port pkt =
   t.rx_packets <- t.rx_packets + 1;
@@ -315,6 +414,9 @@ let create ~sim ~node ~ports ~config:cfg ~route =
           epfc_paused = false;
           epfc_since = 0;
           epfc_total = 0;
+          epfc_epoch = 0;
+          ewd_since = Array.make cfg.queues_per_port (-1);
+          ewd_epoch = Array.make cfg.queues_per_port 0;
           eflows = Hashtbl.create 64;
         })
       ports
@@ -334,6 +436,8 @@ let create ~sim ~node ~ports ~config:cfg ~route =
       data_drops = 0;
       tx_packets = 0;
       rx_packets = 0;
+      watchdog_fires = 0;
+      reboot_count = 0;
       max_hrtt;
       rng = Bfc_util.Rng.create (0x5EED + node.Node.id);
     }

@@ -26,6 +26,10 @@ type config = {
   int_stamping : bool; (** append HPCC INT telemetry on dequeue *)
   track_active_flows : bool; (** maintain per-egress distinct-flow counts *)
   mtu : int; (** DRR quantum = mtu + header *)
+  pause_watchdog : Bfc_engine.Time.t option;
+      (** force-resume any queue (or PFC-paused egress) paused longer than
+          this; every pause assertion re-arms the deadline. [None] (the
+          default) disables the watchdog. *)
 }
 
 val default_config : config
@@ -48,6 +52,12 @@ type hooks = {
   mutable admit : t -> egress:int -> queue:int -> Bfc_net.Packet.t -> bool;
       (** extra admission check ANDed with the buffer model (e.g.
           ExpressPass's 16-credit queue cap) *)
+  mutable on_watchdog : t -> egress:int -> queue:int -> unit;
+      (** pause watchdog force-resumed a queue ([queue = -1] for a PFC
+          port-level unpause); fires before the resume takes effect *)
+  mutable on_reboot : t -> flushed:int -> unit;
+      (** fires at the end of {!reboot}, after all state is flushed (the
+          attached dataplane program and auditors resync here) *)
 }
 
 (** [create ~sim ~node ~config ~route] attaches a switch device to [node].
@@ -120,3 +130,24 @@ val active_flows : t -> egress:int -> int
 (** Force the transmit loop of an egress to re-examine its queues (used
     after resume events originating outside the switch). *)
 val kick : t -> egress:int -> unit
+
+(** {2 Fault injection} *)
+
+(** Crash-and-restart: every queue is flushed (resident packets are lost
+    and counted in {!drops}), buffer accounting, pause state, PFC latches
+    and flow tracking are reset. Upstream queues paused on this switch's
+    behalf receive no Resume; their own pause watchdogs must recover them.
+    Returns the number of packets lost. *)
+val reboot : t -> int
+
+(** Number of {!reboot}s so far (auditors use this as a generation
+    counter to resynchronise conservation baselines). *)
+val reboots : t -> int
+
+(** Times the pause watchdog force-resumed a queue or egress. *)
+val watchdog_fires : t -> int
+
+val queue_paused : t -> egress:int -> queue:int -> bool
+
+(** Sim time at which the queue was last paused, [None] if not paused. *)
+val queue_paused_since : t -> egress:int -> queue:int -> Bfc_engine.Time.t option

@@ -28,6 +28,7 @@ type config = {
   line_gbps : float;
   flow_bdp : (Bfc_net.Flow.t -> int) option;
   nic_credit : int option;
+  pause_watchdog : Bfc_engine.Time.t option;
   seed : int;
 }
 
@@ -46,6 +47,7 @@ let default_config =
     line_gbps = 100.0;
     flow_bdp = None;
     nic_credit = None;
+    pause_watchdog = None;
     seed = 7;
   }
 
@@ -120,6 +122,8 @@ let on_complete t f = t.complete_cb <- f
 let bytes_sent t = t.bytes_sent
 
 let bytes_retransmitted t = t.bytes_retransmitted
+
+let watchdog_fires t = Nic.watchdog_fires t.nic
 
 let mtu_wire cfg = cfg.mtu + Packet.header_bytes + cfg.extra_header
 
@@ -694,7 +698,8 @@ let receive t ~in_port:_ pkt =
 let create ~sim ~node ~port ~config:cfg =
   let nic =
     Nic.create ~sim ~port ~n_queues:cfg.nic_queues ~policy:cfg.nic_policy
-      ~respect_pause:cfg.respect_pause ?credit:cfg.nic_credit ()
+      ~respect_pause:cfg.respect_pause ?pause_watchdog:cfg.pause_watchdog ?credit:cfg.nic_credit
+      ()
   in
   let homa_recv = match cfg.scheme with Homa p -> Some (Homa.Receiver.create p) | _ -> None in
   let t =

@@ -36,6 +36,9 @@ type config = {
       (** per-flow BDP for window initialisation (cross-DC paths have a much
           larger BDP than intra-DC ones, App. A.9) *)
   nic_credit : int option; (** lossless-BFC: initial per-queue credit *)
+  pause_watchdog : Bfc_engine.Time.t option;
+      (** force-resume a ctrl-paused NIC queue after this long (see
+          {!Nic.create}) *)
   seed : int;
 }
 
@@ -70,3 +73,6 @@ val bytes_sent : t -> int
 
 (** Retransmitted payload bytes (diagnostics; reordering/drops). *)
 val bytes_retransmitted : t -> int
+
+(** Times this host's NIC pause watchdog fired (see {!Nic.watchdog_fires}). *)
+val watchdog_fires : t -> int

@@ -17,9 +17,14 @@ type t = {
   mutable on_dequeue : int -> unit;
   mutable backlog : int;
   credit : Balance.b option; (* lossless-BFC variant: gate data queues *)
+  pause_watchdog : Bfc_engine.Time.t option;
+  ctrl_paused : bool array; (* queue paused by a ctrl frame (vs credit gating) *)
+  wd_epoch : int array; (* invalidates scheduled per-queue watchdog checks *)
+  mutable pfc_epoch : int;
+  mutable watchdog_fires : int;
 }
 
-let rec create ~sim ~port ~n_queues ~policy ~respect_pause ?credit () =
+let rec create ~sim ~port ~n_queues ~policy ~respect_pause ?pause_watchdog ?credit () =
   if n_queues < 2 then invalid_arg "Nic.create: need >= 2 queues";
   let queues = Array.init n_queues (fun idx -> Fifo.create ~idx ~cls:0) in
   let quantum = 1100 + Packet.header_bytes in
@@ -36,6 +41,11 @@ let rec create ~sim ~port ~n_queues ~policy ~respect_pause ?credit () =
       on_dequeue = ignore;
       backlog = 0;
       credit = Option.map (fun initial -> Balance.create ~queues:n_queues ~initial) credit;
+      pause_watchdog;
+      ctrl_paused = Array.make n_queues false;
+      wd_epoch = Array.make n_queues 0;
+      pfc_epoch = 0;
+      watchdog_fires = 0;
     }
   in
   Port.set_on_idle port (fun () -> try_send t);
@@ -60,6 +70,61 @@ and try_send t =
       Port.send t.port pkt;
       t.on_dequeue q.Fifo.idx
   end
+
+(* ------------------------------------------------------------------ *)
+(* Pause watchdog: like the switch's, a queue paused by a ctrl frame for
+   longer than the timeout is force-resumed (the Resume was presumably
+   lost). Credit-gated pauses (lossless-BFC) are excluded: there is no
+   Resume to lose, the gate opens on Hop_credit arrival. *)
+
+let credit_starved t queue =
+  match t.credit with
+  | Some b when queue > 0 -> (
+    match Fifo.peek t.queues.(queue) with
+    | Some p -> Balance.get b ~queue < p.Packet.size
+    | None -> false)
+  | _ -> false
+
+let arm_queue_watchdog t queue =
+  match t.pause_watchdog with
+  | None -> ()
+  | Some timeout ->
+    let epoch = t.wd_epoch.(queue) in
+    ignore
+      (Bfc_engine.Sim.after t.sim timeout (fun () ->
+           if t.wd_epoch.(queue) = epoch && t.ctrl_paused.(queue) then begin
+             t.watchdog_fires <- t.watchdog_fires + 1;
+             t.wd_epoch.(queue) <- t.wd_epoch.(queue) + 1;
+             t.ctrl_paused.(queue) <- false;
+             if not (credit_starved t queue) then begin
+               Sched.set_paused t.sched t.queues.(queue) false;
+               try_send t
+             end
+           end))
+
+(* Apply a ctrl-frame pause/resume; every pause assertion (including bitmap
+   refreshes) re-arms the watchdog deadline. *)
+let set_ctrl_paused t ~queue paused =
+  t.wd_epoch.(queue) <- t.wd_epoch.(queue) + 1;
+  t.ctrl_paused.(queue) <- paused;
+  Sched.set_paused t.sched t.queues.(queue) paused;
+  if paused then arm_queue_watchdog t queue else try_send t
+
+let arm_pfc_watchdog t =
+  match t.pause_watchdog with
+  | None -> ()
+  | Some timeout ->
+    let epoch = t.pfc_epoch in
+    ignore
+      (Bfc_engine.Sim.after t.sim timeout (fun () ->
+           if t.pfc_epoch = epoch && t.pfc_paused then begin
+             t.watchdog_fires <- t.watchdog_fires + 1;
+             t.pfc_epoch <- t.pfc_epoch + 1;
+             t.pfc_paused <- false;
+             try_send t
+           end))
+
+let watchdog_fires t = t.watchdog_fires
 
 let n_queues t = Array.length t.queues
 
@@ -114,16 +179,19 @@ let on_ctrl t pkt =
   | Packet.Pfc ->
     let pause = pkt.Packet.ctrl_b = 1 in
     if t.pfc_paused && not pause then begin
+      t.pfc_epoch <- t.pfc_epoch + 1;
       t.pfc_paused <- false;
       try_send t
     end
-    else if pause then t.pfc_paused <- true
+    else if pause then begin
+      t.pfc_epoch <- t.pfc_epoch + 1;
+      t.pfc_paused <- true;
+      arm_pfc_watchdog t
+    end
   | Packet.Pause | Packet.Resume | Packet.Pause_bitmap ->
     if t.respect_pause then
       Bfc_core.Dataplane.apply_ctrl
-        ~set_paused:(fun ~queue paused ->
-          Sched.set_paused t.sched t.queues.(queue) paused;
-          if not paused then try_send t)
+        ~set_paused:(fun ~queue paused -> set_ctrl_paused t ~queue paused)
         ~n_queues:(Array.length t.queues) pkt
   | Packet.Hop_credit -> (
     match t.credit with

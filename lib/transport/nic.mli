@@ -14,13 +14,20 @@ type t
 
 (** [credit] enables the lossless-BFC variant: data queues are gated by
     hop credits returned by the ToR ([Hop_credit] packets), starting from
-    the given per-queue byte balance. *)
+    the given per-queue byte balance.
+
+    [pause_watchdog] force-resumes a queue (or the PFC-paused uplink)
+    paused by a ctrl frame for longer than the timeout, on the assumption
+    that the Resume was lost; every pause assertion re-arms the deadline.
+    Credit-gated pauses are exempt (they open on [Hop_credit] arrival, no
+    Resume is expected). *)
 val create :
   sim:Bfc_engine.Sim.t ->
   port:Bfc_net.Port.t ->
   n_queues:int ->
   policy:Bfc_switch.Sched.policy ->
   respect_pause:bool ->
+  ?pause_watchdog:Bfc_engine.Time.t ->
   ?credit:int ->
   unit ->
   t
@@ -52,3 +59,6 @@ val on_ctrl : t -> Bfc_net.Packet.t -> unit
 (** [set_on_dequeue t f] — [f queue] runs after each packet leaves the NIC
     (drives window/line-rate refill). *)
 val set_on_dequeue : t -> (int -> unit) -> unit
+
+(** Times the pause watchdog force-resumed a queue or the uplink. *)
+val watchdog_fires : t -> int

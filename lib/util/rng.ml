@@ -33,6 +33,13 @@ let float t =
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 
+let bernoulli t p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Rng.bernoulli: probability %g not in [0, 1]" p);
+  (* The endpoints consume no randomness so that a degenerate coin does not
+     perturb the stream of later draws. *)
+  if p <= 0.0 then false else if p >= 1.0 then true else float t < p
+
 let exponential t ~mean =
   let u = 1.0 -. float t in
   -.mean *. log u

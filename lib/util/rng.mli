@@ -29,6 +29,12 @@ val float : t -> float
 (** [bool t] is a fair coin. *)
 val bool : t -> bool
 
+(** [bernoulli t p] is a biased coin: [true] with probability [p]. The
+    endpoints are exact ([p = 0.] never, [p = 1.] always) and consume no
+    randomness. Raises [Invalid_argument] unless [0. <= p <= 1.] (NaN
+    included). *)
+val bernoulli : t -> float -> bool
+
 (** [exponential t ~mean] samples Exp with the given mean. *)
 val exponential : t -> mean:float -> float
 

@@ -13,4 +13,5 @@ let () =
       ("credit", Test_credit.suite);
       ("extra", Test_extra.suite);
       ("final", Test_final.suite);
+      ("fault", Test_fault.suite);
     ]
