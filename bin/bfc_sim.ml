@@ -228,7 +228,34 @@ let faults_cmd =
     Term.(const run $ scheme $ senders $ size $ resume_loss $ ctrl_loss $ data_loss $ watchdog
           $ flaps $ reboot_at $ no_audit $ seed)
 
+let lint_cmd =
+  let paths =
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc:"Files or directories to lint.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let show_suppressed =
+    Arg.(value & flag & info [ "suppressed" ] ~doc:"Also print suppressed findings.")
+  in
+  let rules = Arg.(value & flag & info [ "rules" ] ~doc:"List every rule and exit.") in
+  let run paths json show_suppressed rules =
+    if rules then print_string (Bfclint.Driver.render_rules ())
+    else begin
+      let paths = match paths with [] -> [ "lib" ] | ps -> ps in
+      let report = Bfclint.Driver.lint_paths paths in
+      print_string
+        (if json then Bfclint.Driver.render_json report
+         else Bfclint.Driver.render_human ~show_suppressed report);
+      Stdlib.exit (Bfclint.Driver.exit_code report)
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static dataplane-feasibility, determinism and robustness checks over the sources \
+          (compile-time companion to the runtime fault auditor)")
+    Term.(const run $ paths $ json $ show_suppressed $ rules)
+
 let () =
   let doc = "Backpressure Flow Control (NSDI 2022) reproduction" in
   let info = Cmd.info "bfc_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sweep_cmd; faults_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sweep_cmd; faults_cmd; lint_cmd ]))

@@ -79,7 +79,7 @@ let regate t ~egress ~queue =
 let classify t _sw ~in_port:_ ~egress pkt =
   match pkt.Packet.kind with
   | Packet.Data ->
-    let flow = match pkt.Packet.flow with Some f -> f | None -> assert false in
+    let flow = Packet.flow_exn pkt ~at:(now t) in
     let e = Flow_table.entry t.ft ~egress ~fid_hash:(Flow.hash flow) in
     let stale = now t - e.Flow_table.last > t.sticky in
     if e.Flow_table.size = 0 && (e.Flow_table.q < 0 || stale) then
@@ -127,7 +127,7 @@ let on_dequeue t _sw ~egress ~queue pkt =
       if blocked then Switch.set_queue_paused t.sw ~egress ~queue true
     end;
     (* bookkeeping identical to BFC *)
-    let flow = match pkt.Packet.flow with Some f -> f | None -> assert false in
+    let flow = Packet.flow_exn pkt ~at:(now t) in
     let e = Flow_table.entry t.ft ~egress ~fid_hash:(Flow.hash flow) in
     e.Flow_table.size <- max 0 (e.Flow_table.size - 1);
     e.Flow_table.last <- now t;
@@ -153,6 +153,8 @@ let on_ctrl t _sw ~in_port pkt =
     true
   | _ -> false
 
+(* Setup-time code: runs once per switch, not per packet. *)
+(* bfc-lint: control-plane *)
 let attach sw cfg =
   let n_ports = Switch.n_ports sw in
   let nq = Switch.(config sw).queues_per_port in

@@ -50,6 +50,10 @@ type t = {
   sticky : Bfc_engine.Time.t;
   allow_bp : (in_port:int -> egress:int -> bool) ref;
   hrtt_for : int array; (* per egress: max 1-hop RTT over the ingresses feeding it *)
+  th_tables : Threshold.table array;
+      (* per egress: Th over N_active, precomputed at attach time like the
+         control-plane-populated match-action table on the hardware — the
+         per-packet path does integer lookups only *)
   rng : Bfc_util.Rng.t;
   st : stats;
   occupancy : int array array; (* packets per (egress, queue), collision diag *)
@@ -70,12 +74,7 @@ let data_queues t = (t.qpc - 1) * t.classes
 let threshold t ~egress =
   match t.cfg.fixed_th with
   | Some b -> b
-  | None ->
-    let port = Switch.port t.sw egress in
-    Threshold.bytes ~hrtt:t.hrtt_for.(egress)
-      ~gbps:(Bfc_net.Port.gbps port)
-      ~n_active:(Switch.n_active t.sw ~egress)
-      ~factor:t.cfg.th_factor
+  | None -> Threshold.lookup t.th_tables.(egress) ~n_active:(Switch.n_active t.sw ~egress)
 
 let allow_backpressure t f = t.allow_bp := f
 
@@ -103,7 +102,7 @@ let cls_of_queue t ~queue = queue / t.qpc
 let classify t _sw ~in_port:_ ~egress pkt =
   match pkt.Packet.kind with
   | Packet.Data -> (
-    let flow = match pkt.Packet.flow with Some f -> f | None -> assert false in
+    let flow = Packet.flow_exn pkt ~at:(now t) in
     let cls = cls_of_flow t flow in
     if t.cfg.incast_label && flow.Flow.is_incast then begin
       pkt.Packet.bp_sampled <- true;
@@ -187,7 +186,7 @@ let on_dequeue t _sw ~egress ~queue pkt =
       | Pause_counter.Went_up | Pause_counter.No_change -> ());
       pkt.Packet.bp_counted <- false
     end;
-    let flow = match pkt.Packet.flow with Some f -> f | None -> assert false in
+    let flow = Packet.flow_exn pkt ~at:(now t) in
     let incast_bypass = t.cfg.incast_label && flow.Flow.is_incast in
     if pkt.Packet.bp_sampled && not incast_bypass then begin
       let e = Flow_table.entry t.ft ~egress ~fid_hash:(Flow.hash flow) in
@@ -210,7 +209,7 @@ let on_dequeue t _sw ~egress ~queue pkt =
 let on_drop t _sw ~in_port:_ ~egress ~queue:_ pkt =
   (* Undo the enqueue-side flow table increment. *)
   if pkt.Packet.kind = Packet.Data then begin
-    let flow = match pkt.Packet.flow with Some f -> f | None -> assert false in
+    let flow = Packet.flow_exn pkt ~at:(now t) in
     let incast_bypass = t.cfg.incast_label && flow.Flow.is_incast in
     if pkt.Packet.bp_sampled && not incast_bypass then begin
       let e = Flow_table.entry t.ft ~egress ~fid_hash:(Flow.hash flow) in
@@ -240,6 +239,7 @@ let apply_ctrl ~set_paused ~n_queues pkt =
 (* Wipe the dataplane program's state alongside a switch reboot: the flow
    table, pause counters, DQA bitmaps and occupancy diagnostics all restart
    from scratch (the reloaded P4 program has no memory of the old run). *)
+(* bfc-lint: control-plane *)
 let reset t =
   Flow_table.reset t.ft;
   Pause_counter.reset t.pc;
@@ -260,6 +260,7 @@ let on_ctrl t _sw ~in_port pkt =
     true
   | _ -> false
 
+(* bfc-lint: control-plane *)
 let start_bitmap_refresh t period =
   let sim = Switch.sim t.sw in
   ignore
@@ -274,6 +275,7 @@ let start_bitmap_refresh t period =
            Switch.send_ctrl t.sw ~egress:ingress pkt
          done))
 
+(* bfc-lint: control-plane *)
 let attach sw cfg =
   let scfg = Switch.config sw in
   let nq = scfg.Switch.queues_per_port in
@@ -296,6 +298,15 @@ let attach sw cfg =
         !m)
   in
   let rng = Bfc_util.Rng.create (cfg.seed + (Switch.node_id sw * 7919)) in
+  (* N_active is bounded by queues/port, so the whole Th function fits in a
+     small per-egress table; populating it here is the control-plane side of
+     the hardware split. *)
+  let th_tables =
+    Array.init n_ports (fun egress ->
+        Threshold.table ~hrtt:hrtt_for.(egress)
+          ~gbps:(Bfc_net.Port.gbps (Switch.port sw egress))
+          ~max_active:nq ~factor:cfg.th_factor)
+  in
   let t =
     {
       sw;
@@ -309,6 +320,7 @@ let attach sw cfg =
       sticky = int_of_float (cfg.sticky_hrtt_mult *. float_of_int (Switch.max_hop_rtt sw));
       allow_bp = ref (fun ~in_port:_ ~egress:_ -> true);
       hrtt_for;
+      th_tables;
       rng;
       st =
         {

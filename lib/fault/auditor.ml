@@ -190,6 +190,8 @@ let on_bitmap t ~node ~in_port ints =
     ints;
   let listed q = Array.exists (fun x -> x = q) ints in
   let to_resume =
+    (* collected keys only feed Hashtbl.replace, order-independent;
+       bfc-lint: allow det-hashtbl-order *)
     Hashtbl.fold
       (fun (n, p, q) paused acc ->
         if n = node && p = in_port && paused && not (listed q) then (n, p, q) :: acc else acc)

@@ -115,4 +115,5 @@ let reboot_switch t ~node ?down_for () =
   flushed
 
 let faults_injected t =
+  (* commutative sum, order-independent; bfc-lint: allow det-hashtbl-order *)
   Hashtbl.fold (fun _ s acc -> acc + Port.faults_injected s.lport) t.links 0

@@ -1,0 +1,16 @@
+(** The parsetree pass implementing every rule. *)
+
+type scope = {
+  dataplane : bool;  (** feasibility family applies (per-packet BFC modules) *)
+  lib : bool;  (** determinism + robustness families apply (under lib/) *)
+}
+
+(** [run ~path ~scope suppress structure] returns every finding paired with
+    whether a suppression comment covers it, sorted by location. [path] is
+    used verbatim in diagnostics. *)
+val run :
+  path:string ->
+  scope:scope ->
+  Suppress.t ->
+  Parsetree.structure ->
+  (Diagnostic.t * bool) list

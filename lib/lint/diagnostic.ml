@@ -1,0 +1,37 @@
+type t = {
+  rule : Rule.t;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let compare a b =
+  Stdlib.compare (a.file, a.line, a.col, a.rule.Rule.id) (b.file, b.line, b.col, b.rule.Rule.id)
+
+let to_human d =
+  Printf.sprintf "%s:%d:%d: %s [%s %s] %s" d.file d.line d.col
+    (Rule.severity_to_string d.rule.Rule.severity)
+    d.rule.Rule.id d.rule.Rule.name d.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"name\":\"%s\",\"family\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\"}"
+    (json_escape d.file) d.line d.col d.rule.Rule.id d.rule.Rule.name
+    (Rule.family_to_string d.rule.Rule.family)
+    (Rule.severity_to_string d.rule.Rule.severity)
+    (json_escape d.message)

@@ -1,0 +1,21 @@
+(** A single lint finding, anchored to a source location. *)
+
+type t = {
+  rule : Rule.t;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, like the compiler *)
+  message : string;
+}
+
+(** Order by (file, line, col, rule id) for stable reports. *)
+val compare : t -> t -> int
+
+(** [file:line:col: severity [ID name] message] *)
+val to_human : t -> string
+
+(** One JSON object (no trailing newline). *)
+val to_json : t -> string
+
+(** Escape a string for embedding in a JSON literal. *)
+val json_escape : string -> string

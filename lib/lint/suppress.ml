@@ -1,0 +1,70 @@
+(* Comment directives recognised in source text:
+
+     (* bfc-lint: allow <rule> [<rule> ...] *)     suppress the listed rules
+     (* bfc-lint: control-plane *)                 mark a top-level binding as
+                                                   control-plane (feasibility
+                                                   rules do not apply inside)
+
+   An [allow] covers violations on its own line and the next line; placed on
+   (or immediately above) the first line of a top-level binding it covers the
+   binding's whole body.  Rules are named by id ("DT004") or kebab name
+   ("det-hashtbl-order"); "all" covers every rule.  Prose before the
+   directive inside the same comment is fine:
+   [(* commutative sum; bfc-lint: allow det-hashtbl-order *)]. *)
+
+type t = {
+  allows : (int, string list) Hashtbl.t;  (* line -> rule keys *)
+  control_plane : (int, unit) Hashtbl.t;  (* line -> marked *)
+}
+
+let marker = "bfc-lint:"
+
+(* Index of [sub] in [s] at or after [from], or -1. *)
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then -1 else if String.sub s i m = sub then i else go (i + 1) in
+  if m = 0 then -1 else go from
+
+let is_sep c = c = ' ' || c = '\t' || c = ','
+
+let tokens_after s start =
+  (* split the directive payload into tokens, stopping at the comment close *)
+  let stop = match find_sub s "*)" start with -1 -> String.length s | i -> i in
+  let out = ref [] in
+  let i = ref start in
+  while !i < stop do
+    while !i < stop && is_sep s.[!i] do
+      incr i
+    done;
+    let b = !i in
+    while !i < stop && not (is_sep s.[!i]) do
+      incr i
+    done;
+    if !i > b then out := String.sub s b (!i - b) :: !out
+  done;
+  List.rev !out
+
+let scan source =
+  let t = { allows = Hashtbl.create 8; control_plane = Hashtbl.create 4 } in
+  List.iteri
+    (fun i line ->
+      let lnum = i + 1 in
+      match find_sub line marker 0 with
+      | -1 -> ()
+      | at -> (
+        match tokens_after line (at + String.length marker) with
+        | "allow" :: rules when rules <> [] ->
+          let prev = match Hashtbl.find_opt t.allows lnum with Some l -> l | None -> [] in
+          Hashtbl.replace t.allows lnum (prev @ rules)
+        | [ "control-plane" ] -> Hashtbl.replace t.control_plane lnum ()
+        | _ -> ()))
+    (String.split_on_char '\n' source);
+  t
+
+let allows_at t ~line = match Hashtbl.find_opt t.allows line with Some l -> l | None -> []
+
+(* Directives attach to their own line and the line below. *)
+let allows_near t ~line = allows_at t ~line @ allows_at t ~line:(line - 1)
+
+let control_plane_near t ~line =
+  Hashtbl.mem t.control_plane line || Hashtbl.mem t.control_plane (line - 1)

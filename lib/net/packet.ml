@@ -93,6 +93,18 @@ let data ~flow ~seq ~payload ?(extra_header = 0) () =
     ~size:(payload + header_bytes + extra_header)
     ~payload ~seq ~prio:flow.prio_class ()
 
+exception Missing_flow of { uid : int; at : Bfc_engine.Time.t }
+
+let () =
+  Printexc.register_printer (function
+    | Missing_flow { uid; at } ->
+      Some
+        (Format.asprintf "Packet.Missing_flow(uid=%d, t=%a): data-path packet without a flow" uid
+           Bfc_engine.Time.pp at)
+    | _ -> None)
+
+let flow_exn t ~at = match t.flow with Some f -> f | None -> raise (Missing_flow { uid = t.uid; at })
+
 let is_control t =
   match t.kind with
   | Pause | Resume | Pause_bitmap | Hop_credit | Pfc | Cnp -> true

@@ -82,6 +82,15 @@ val make :
     wire size = payload + header + extra_header. *)
 val data : flow:Flow.t -> seq:int -> payload:int -> ?extra_header:int -> unit -> t
 
+(** Raised by [flow_exn] when a packet that must belong to a flow (a
+    data-path packet inside a dataplane hook or a host receive path) carries
+    none — a malformed injection or a corrupted header. Carries the packet
+    uid and the sim time at which the packet was seen. *)
+exception Missing_flow of { uid : int; at : Bfc_engine.Time.t }
+
+(** The packet's flow, or raises {!Missing_flow} stamped with [at]. *)
+val flow_exn : t -> at:Bfc_engine.Time.t -> Flow.t
+
 val is_control : t -> bool
 
 (** Flow id or -1. *)

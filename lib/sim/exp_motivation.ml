@@ -94,6 +94,7 @@ let ps_trace ~dist ~gbps ~load ~duration ~seed =
     let n = Hashtbl.length active in
     (* earliest completion under PS *)
     let min_rem =
+      (* commutative min-reduction, order-independent; bfc-lint: allow det-hashtbl-order *)
       Hashtbl.fold (fun _ r acc -> Float.min acc !r) active infinity
     in
     let per_flow_rate = if n = 0 then 0.0 else rate /. float_of_int n in
@@ -103,6 +104,7 @@ let ps_trace ~dist ~gbps ~load ~duration ~seed =
     if !next_arrival <= t_completion then begin
       let dt = !next_arrival -. !now in
       if n > 0 then
+        (* independent per-entry updates, order-independent; bfc-lint: allow det-hashtbl-order *)
         Hashtbl.iter (fun _ r -> r := !r -. (dt *. per_flow_rate)) active;
       now := !next_arrival;
       incr next_id;
@@ -112,9 +114,11 @@ let ps_trace ~dist ~gbps ~load ~duration ~seed =
     end
     else begin
       let dt = t_completion -. !now in
+      (* independent per-entry updates, order-independent; bfc-lint: allow det-hashtbl-order *)
       Hashtbl.iter (fun _ r -> r := !r -. (dt *. per_flow_rate)) active;
       now := t_completion;
-      (* remove all with remaining <= epsilon *)
+      (* remove all with remaining <= epsilon; the collected keys only feed
+         Hashtbl.remove, so order is irrelevant; bfc-lint: allow det-hashtbl-order *)
       let dead = Hashtbl.fold (fun k r acc -> if !r <= 1.0 then k :: acc else acc) active [] in
       List.iter (Hashtbl.remove active) dead;
       record ()

@@ -53,17 +53,17 @@ let find name = List.find_opt (fun t -> t.t_name = name) all
 let names () = List.map (fun t -> t.t_name) all
 
 let run_and_print ?csv_dir profile t =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Bfc_util.Clock.now_s () in
   Printf.printf "\n################ %s — %s\n%!" t.t_name t.t_what;
   let tables = t.t_run profile in
   List.iter Exp_common.print_table tables;
   (match csv_dir with
   | Some dir ->
-    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    Bfc_util.Fs.ensure_dir dir;
     List.iteri
       (fun i table ->
         let path = Filename.concat dir (Printf.sprintf "%s_%d.csv" t.t_name i) in
         Exp_common.write_csv table ~path)
       tables
   | None -> ());
-  Printf.printf "[%s done in %.1fs]\n%!" t.t_name (Unix.gettimeofday () -. t0)
+  Printf.printf "[%s done in %.1fs]\n%!" t.t_name (Bfc_util.Clock.elapsed_s ~since:t0)

@@ -57,16 +57,17 @@ module Receiver = struct
 
   let active t = Hashtbl.length t.msgs
 
-  (* Re-evaluate the SRPT grant schedule; return new grants. *)
+  (* Re-evaluate the SRPT grant schedule; return new grants. The live
+     message list comes out of a Hashtbl fold, so pipe it straight into a
+     total-order sort (ties broken by flow id) to keep grant order
+     reproducible across OCaml hash seeds. *)
   let reschedule t =
-    let live = Hashtbl.fold (fun _ m acc -> m :: acc) t.msgs [] in
     let by_remaining =
-      List.sort
-        (fun a b ->
-          compare
-            (a.m_flow.Flow.size - a.covered, a.m_flow.Flow.id)
-            (b.m_flow.Flow.size - b.covered, b.m_flow.Flow.id))
-        live
+      Hashtbl.fold (fun _ m acc -> m :: acc) t.msgs []
+      |> List.sort (fun a b ->
+             compare
+               (a.m_flow.Flow.size - a.covered, a.m_flow.Flow.id)
+               (b.m_flow.Flow.size - b.covered, b.m_flow.Flow.id))
     in
     let grants = ref [] in
     List.iteri

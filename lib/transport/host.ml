@@ -533,7 +533,7 @@ let xpass_start_credits t rx ~target_loss ~w_init ~w_max =
   end
 
 let on_data t pkt =
-  let flow = match pkt.Packet.flow with Some f -> f | None -> assert false in
+  let flow = Packet.flow_exn pkt ~at:(Sim.now t.sim) in
   let rx = get_rx t flow in
   let was = covered rx in
   if gbn_mode t then begin
@@ -604,7 +604,7 @@ let on_data t pkt =
 let on_credit_req t pkt =
   match t.cfg.scheme with
   | Xpass { target_loss; w_init; w_max } ->
-    let flow = match pkt.Packet.flow with Some f -> f | None -> assert false in
+    let flow = Packet.flow_exn pkt ~at:(Sim.now t.sim) in
     let rx = get_rx t flow in
     xpass_start_credits t rx ~target_loss ~w_init ~w_max
   | _ -> ()

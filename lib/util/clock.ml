@@ -1,0 +1,9 @@
+(* The only sanctioned wall-clock reading in lib/. Simulated time comes from
+   Engine.Time/Sim.now; this exists for progress reporting and experiment
+   wall-time accounting only, and is fenced off here so the determinism lint
+   (DT002/DT003) can forbid Unix time everywhere else. *)
+
+(* bfc-lint: allow det-wallclock det-unix *)
+let now_s () = Unix.gettimeofday ()
+
+let elapsed_s ~since = now_s () -. since

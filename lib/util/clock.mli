@@ -1,0 +1,14 @@
+(** Wall-clock readings, quarantined.
+
+    Simulation logic must never read real time (it breaks deterministic
+    replay); everything inside the simulator uses [Engine.Time]/[Sim.now].
+    This wrapper is the single sanctioned escape hatch, for progress
+    reporting and experiment wall-time accounting. The determinism lint
+    rules (DT002 det-wallclock, DT003 det-unix) forbid direct [Unix] use
+    anywhere else under [lib/]. *)
+
+(** Seconds since the epoch, from the wall clock. *)
+val now_s : unit -> float
+
+(** [elapsed_s ~since] — seconds elapsed since a previous [now_s] reading. *)
+val elapsed_s : since:float -> float

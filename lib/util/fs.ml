@@ -1,0 +1,6 @@
+(* The only sanctioned filesystem mutation in lib/ (CSV export directories).
+   Fenced off here so the determinism lint (DT003) can forbid direct Unix
+   calls everywhere else. *)
+
+(* bfc-lint: allow det-unix *)
+let ensure_dir path = if not (Sys.file_exists path) then Unix.mkdir path 0o755

@@ -1,0 +1,7 @@
+(** Filesystem side effects, quarantined (see {!Clock} for the rationale).
+    The determinism lint rule DT003 (det-unix) forbids direct [Unix] calls
+    anywhere else under [lib/]. *)
+
+(** Create [path] as a directory (mode 0o755) if it does not already exist.
+    Only creates the final component, like [mkdir] without [-p]. *)
+val ensure_dir : string -> unit

@@ -1,0 +1,6 @@
+(* Fixture: DF rules skipped inside a control-plane binding; the same
+   construct in an unmarked binding still fires. *)
+(* bfc-lint: control-plane *)
+let attach ports = List.map (fun p -> (p, 0.0 *. 1.5)) ports
+
+let per_packet xs = List.length xs

@@ -1,0 +1,4 @@
+(* Fixture: DT004 suppressed. *)
+let total tbl =
+  (* commutative sum, order-independent; bfc-lint: allow det-hashtbl-order *)
+  Hashtbl.fold (fun _ v acc -> acc + v) tbl 0

@@ -1,0 +1,2 @@
+(* Fixture: DT004 det-hashtbl-order must fire — unsorted fold result. *)
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

@@ -1,0 +1,2 @@
+(* Fixture: DT004 must NOT fire — fold result piped into a sort. *)
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare

@@ -1,0 +1,3 @@
+(* Fixture: DT001 suppressed. *)
+(* bfc-lint: allow det-random *)
+let jitter () = Random.int 100

@@ -1,0 +1,2 @@
+(* Fixture: DT001 det-random must fire — ambient Random in lib code. *)
+let jitter () = Random.int 100

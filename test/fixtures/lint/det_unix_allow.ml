@@ -1,0 +1,3 @@
+(* Fixture: DT003 suppressed. *)
+(* bfc-lint: allow det-unix *)
+let make_dir path = Unix.mkdir path 0o755

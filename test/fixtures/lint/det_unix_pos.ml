@@ -1,0 +1,2 @@
+(* Fixture: DT003 det-unix must fire — ambient Unix call in lib code. *)
+let make_dir path = Unix.mkdir path 0o755

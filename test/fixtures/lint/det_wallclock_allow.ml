@@ -1,0 +1,3 @@
+(* Fixture: DT002 suppressed. *)
+(* bfc-lint: allow det-wallclock det-unix *)
+let stamp () = Unix.gettimeofday ()

@@ -1,0 +1,2 @@
+(* Fixture: DT002 det-wallclock must fire — wall clock read in lib code. *)
+let stamp () = Unix.gettimeofday ()

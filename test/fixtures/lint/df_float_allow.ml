@@ -1,0 +1,3 @@
+(* Fixture: DF004 suppressed. *)
+(* bfc-lint: allow df-float *)
+let threshold bytes factor = int_of_float (float_of_int bytes *. factor)

@@ -1,0 +1,2 @@
+(* Fixture: DF004 df-float must fire — float arithmetic per packet. *)
+let threshold bytes factor = int_of_float (float_of_int bytes *. factor)

@@ -1,0 +1,3 @@
+(* Fixture: DF005 suppressed. *)
+(* debug-only tap; bfc-lint: allow df-io *)
+let on_dequeue uid = Printf.printf "deq %d\n" uid

@@ -1,0 +1,2 @@
+(* Fixture: DF005 df-io must fire — printing from a packet path. *)
+let on_dequeue uid = Printf.printf "deq %d\n" uid

@@ -1,0 +1,3 @@
+(* Fixture: DF001 suppressed by an allow directive on the binding. *)
+(* bfc-lint: allow df-list *)
+let classify pkts = List.iter (fun p -> ignore p) pkts

@@ -1,0 +1,2 @@
+(* Fixture: DF001 df-list must fire — List call on the per-packet path. *)
+let classify pkts = List.iter (fun p -> ignore p) pkts

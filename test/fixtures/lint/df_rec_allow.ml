@@ -1,0 +1,3 @@
+(* Fixture: DF003 suppressed. *)
+(* bfc-lint: allow df-rec *)
+let rec walk n = if n = 0 then 0 else walk (n - 1)

@@ -1,0 +1,2 @@
+(* Fixture: DF003 df-rec must fire — recursion in a packet path. *)
+let rec walk n = if n = 0 then 0 else walk (n - 1)

@@ -1,0 +1,3 @@
+(* Fixture: RB002 suppressed. *)
+(* bfc-lint: allow rob-assert-false *)
+let classify = function 0 -> "data" | 1 -> "ctrl" | _ -> assert false

@@ -1,0 +1,2 @@
+(* Fixture: RB002 rob-assert-false must fire — bare crash in lib code. *)
+let classify = function 0 -> "data" | 1 -> "ctrl" | _ -> assert false

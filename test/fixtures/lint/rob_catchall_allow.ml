@@ -1,0 +1,3 @@
+(* Fixture: RB001 suppressed. *)
+(* bfc-lint: allow rob-catchall *)
+let safe_div a b = try a / b with _ -> 0

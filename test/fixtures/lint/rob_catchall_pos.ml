@@ -1,0 +1,2 @@
+(* Fixture: RB001 rob-catchall must fire — swallow-everything handler. *)
+let safe_div a b = try a / b with _ -> 0

@@ -1,0 +1,194 @@
+(* Tests for the bfc-lint static checker: every rule has a firing fixture
+   and a suppressed fixture, plus scope / sorted-context / control-plane /
+   rendering / exit-code behaviour. *)
+
+module Driver = Bfclint.Driver
+module Diagnostic = Bfclint.Diagnostic
+module Rule = Bfclint.Rule
+
+(* dune runtest runs with cwd = the stanza dir; dune exec from the root. *)
+let fixture_dir = if Sys.file_exists "fixtures/lint" then "fixtures/lint" else "test/fixtures/lint"
+
+let lib_dir = if Sys.file_exists "../lib/bfc/dataplane.ml" then "../lib" else "lib"
+
+(* Virtual paths place fixture sources in the scope a rule needs:
+   DF rules only apply to the dataplane modules, DT/RB anywhere in lib/. *)
+let dataplane_path = "lib/bfc/dataplane.ml"
+
+let lib_path = "lib/sim/fixture.ml"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let lint_fixture ~virtual_path name =
+  let path = Filename.concat fixture_dir name in
+  match Driver.lint_source ~virtual_path ~path (read_file path) with
+  | Ok findings -> findings
+  | Error e -> Alcotest.failf "fixture %s failed to lint: %s" name e
+
+let lint_inline ~virtual_path source =
+  match Driver.lint_source ~virtual_path ~path:virtual_path source with
+  | Ok findings -> findings
+  | Error e -> Alcotest.failf "inline source failed to lint: %s" e
+
+let rule_id (d : Diagnostic.t) = d.Diagnostic.rule.Rule.id
+
+let fires id findings = List.exists (fun (d, sup) -> (not sup) && rule_id d = id) findings
+
+let fires_suppressed id findings = List.exists (fun (d, sup) -> sup && rule_id d = id) findings
+
+(* (fixture base name, rule id, scope the rule needs) *)
+let cases =
+  [
+    ("df_list", "DF001", dataplane_path);
+    ("df_while", "DF002", dataplane_path);
+    ("df_rec", "DF003", dataplane_path);
+    ("df_float", "DF004", dataplane_path);
+    ("df_io", "DF005", dataplane_path);
+    ("det_random", "DT001", lib_path);
+    ("det_wallclock", "DT002", lib_path);
+    ("det_unix", "DT003", lib_path);
+    ("det_hashtbl", "DT004", lib_path);
+    ("rob_catchall", "RB001", lib_path);
+    ("rob_assert_false", "RB002", lib_path);
+  ]
+
+let test_rule_fires () =
+  List.iter
+    (fun (base, id, virtual_path) ->
+      let findings = lint_fixture ~virtual_path (base ^ "_pos.ml") in
+      Alcotest.(check bool) (Printf.sprintf "%s fires %s" base id) true (fires id findings))
+    cases
+
+let test_rule_suppressed () =
+  List.iter
+    (fun (base, id, virtual_path) ->
+      let findings = lint_fixture ~virtual_path (base ^ "_allow.ml") in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s allow fixture still detects %s" base id)
+        true
+        (fires_suppressed id findings);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s allow fixture has no live violation" base)
+        false
+        (List.exists (fun (_, sup) -> not sup) findings))
+    cases
+
+let test_sorted_fold_clean () =
+  let findings = lint_fixture ~virtual_path:lib_path "det_hashtbl_sorted.ml" in
+  Alcotest.(check bool) "sorted fold is not flagged" false (fires "DT004" findings);
+  Alcotest.(check bool) "nor suppressed" false (fires_suppressed "DT004" findings)
+
+let test_df_scoped_to_dataplane () =
+  (* The same List call that fires on a dataplane path is fine elsewhere
+     in lib/ — DF rules are scoped, not repo-wide. *)
+  let findings = lint_fixture ~virtual_path:lib_path "df_list_pos.ml" in
+  Alcotest.(check bool) "DF001 silent outside the dataplane" false (fires "DF001" findings)
+
+let test_control_plane_marker () =
+  let findings = lint_fixture ~virtual_path:dataplane_path "control_plane.ml" in
+  let in_attach id =
+    List.exists (fun (d, _) -> rule_id d = id && d.Diagnostic.line = 4) findings
+  in
+  Alcotest.(check bool) "no DF001 in control-plane binding" false (in_attach "DF001");
+  Alcotest.(check bool) "no DF004 in control-plane binding" false (in_attach "DF004");
+  Alcotest.(check bool) "unmarked binding still fires" true (fires "DF001" findings)
+
+let test_allow_all_keyword () =
+  let findings =
+    lint_inline ~virtual_path:dataplane_path
+      "(* bfc-lint: allow all *)\nlet f xs = List.length xs + int_of_float 1.5\n"
+  in
+  Alcotest.(check bool) "findings detected" true (findings <> []);
+  Alcotest.(check bool) "all suppressed" true (List.for_all (fun (_, sup) -> sup) findings)
+
+let test_seeded_list_iter_fails () =
+  (* The ISSUE's acceptance check: seeding a List.iter into dataplane.ml
+     must fail the lint alias. *)
+  let dataplane = read_file (Filename.concat lib_dir "bfc/dataplane.ml") in
+  let seeded = dataplane ^ "\nlet seeded q = List.iter ignore q\n" in
+  let findings = lint_inline ~virtual_path:dataplane_path seeded in
+  Alcotest.(check bool) "seeded List.iter violates" true (fires "DF001" findings)
+
+let test_seeded_random_fails () =
+  let seeded = "let jitter () = Random.float 1.0\n" in
+  let findings = lint_inline ~virtual_path:"lib/sim/runner.ml" seeded in
+  Alcotest.(check bool) "seeded Random.float violates" true (fires "DT001" findings)
+
+let test_repo_is_clean () =
+  let report = Driver.lint_paths [ lib_dir ] in
+  Alcotest.(check bool) "found the sources" true (report.Driver.files > 0);
+  Alcotest.(check (list string)) "no parse failures" [] (List.map fst report.Driver.failures);
+  Alcotest.(check (list string)) "no violations" []
+    (List.map Diagnostic.to_human (Driver.violations report));
+  Alcotest.(check int) "exit 0" 0 (Driver.exit_code report)
+
+let test_exit_codes () =
+  let finding =
+    match lint_inline ~virtual_path:lib_path "let r () = Random.int 3\n" with
+    | [ (d, false) ] -> d
+    | _ -> Alcotest.fail "expected exactly one live finding"
+  in
+  let clean = { Driver.files = 1; findings = []; failures = [] } in
+  let dirty = { Driver.files = 1; findings = [ (finding, false) ]; failures = [] } in
+  let only_suppressed = { Driver.files = 1; findings = [ (finding, true) ]; failures = [] } in
+  let broken = { Driver.files = 1; findings = []; failures = [ ("x.ml", "boom") ] } in
+  Alcotest.(check int) "clean -> 0" 0 (Driver.exit_code clean);
+  Alcotest.(check int) "violations -> 1" 1 (Driver.exit_code dirty);
+  Alcotest.(check int) "suppressed only -> 0" 0 (Driver.exit_code only_suppressed);
+  Alcotest.(check int) "failures -> 2" 2 (Driver.exit_code broken)
+
+let test_parse_failure () =
+  match Driver.lint_source ~path:"lib/broken.ml" "let = (" with
+  | Ok _ -> Alcotest.fail "expected a parse failure"
+  | Error msg -> Alcotest.(check bool) "failure has a reason" true (String.length msg > 0)
+
+let test_json_render () =
+  let findings =
+    lint_fixture ~virtual_path:dataplane_path "df_list_pos.ml"
+    @ lint_fixture ~virtual_path:lib_path "det_random_allow.ml"
+  in
+  let report = { Driver.files = 2; findings; failures = [] } in
+  Alcotest.(check int) "fixture findings violate" 1 (Driver.exit_code report);
+  let json = Driver.render_json report in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "json mentions %s" needle) true
+        (let n = String.length needle in
+         let rec scan i =
+           i + n <= String.length json && (String.sub json i n = needle || scan (i + 1))
+         in
+         scan 0))
+    [ "\"violations\""; "\"suppressed\""; "\"rule\""; "\"file\""; "\"line\"" ];
+  Alcotest.(check string) "escaping" "a\\\"b\\\\c\\n" (Diagnostic.json_escape "a\"b\\c\n")
+
+let test_rule_lookup () =
+  (match Rule.find "DF001" with
+  | Some r -> Alcotest.(check string) "by id" "df-list" r.Rule.name
+  | None -> Alcotest.fail "DF001 not found");
+  (match Rule.find "det-random" with
+  | Some r -> Alcotest.(check string) "by name" "DT001" r.Rule.id
+  | None -> Alcotest.fail "det-random not found");
+  Alcotest.(check bool) "unknown" true (Rule.find "nope" = None);
+  Alcotest.(check int) "eleven rules" 11 (List.length Rule.all)
+
+let suite =
+  [
+    ("every rule fires on its fixture", `Quick, test_rule_fires);
+    ("every rule honours allow", `Quick, test_rule_suppressed);
+    ("sorted hashtbl fold passes", `Quick, test_sorted_fold_clean);
+    ("df rules scoped to dataplane", `Quick, test_df_scoped_to_dataplane);
+    ("control-plane marker", `Quick, test_control_plane_marker);
+    ("allow all keyword", `Quick, test_allow_all_keyword);
+    ("seeded list iter violates", `Quick, test_seeded_list_iter_fails);
+    ("seeded random violates", `Quick, test_seeded_random_fails);
+    ("repo tree is lint-clean", `Quick, test_repo_is_clean);
+    ("exit codes", `Quick, test_exit_codes);
+    ("parse failure reported", `Quick, test_parse_failure);
+    ("json rendering", `Quick, test_json_render);
+    ("rule lookup", `Quick, test_rule_lookup);
+  ]

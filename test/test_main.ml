@@ -14,4 +14,5 @@ let () =
       ("extra", Test_extra.suite);
       ("final", Test_final.suite);
       ("fault", Test_fault.suite);
+      ("lint", Test_lint.suite);
     ]

@@ -93,6 +93,63 @@ let test_rng_normal_moments () =
   Alcotest.(check bool) "mean ~0" true (Float.abs mean < 0.02);
   Alcotest.(check bool) "var ~1" true (Float.abs (var -. 1.0) < 0.05)
 
+let test_rng_int_extreme_bounds () =
+  (* Powers of two take the mask path, [max_int] (not a power of two on
+     63-bit ints) exercises rejection sampling on the widest bound. *)
+  let r = Rng.create 41 in
+  List.iter
+    (fun n ->
+      for _ = 1 to 1_000 do
+        let v = Rng.int r n in
+        Alcotest.(check bool) (Printf.sprintf "in [0,%d)" n) true (v >= 0 && v < n)
+      done)
+    [ 1; 2; 4; 64; 1 lsl 30; 1 lsl 61; max_int ]
+
+let test_rng_int_bound_one () =
+  let r = Rng.create 43 in
+  for _ = 1 to 100 do
+    check Alcotest.int "bound 1 is always 0" 0 (Rng.int r 1)
+  done
+
+let test_rng_bernoulli_invalid () =
+  let r = Rng.create 47 in
+  List.iter
+    (fun (p, msg) ->
+      Alcotest.check_raises msg (Invalid_argument msg) (fun () -> ignore (Rng.bernoulli r p)))
+    [
+      (-0.1, "Rng.bernoulli: probability -0.1 not in [0, 1]");
+      (1.5, "Rng.bernoulli: probability 1.5 not in [0, 1]");
+      (Float.nan, "Rng.bernoulli: probability nan not in [0, 1]");
+    ]
+
+let test_rng_bernoulli_endpoints () =
+  let r = Rng.create 53 in
+  let before = Rng.copy r in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli r 0.0);
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli r 1.0)
+  done;
+  (* The documented contract: degenerate coins leave the stream untouched. *)
+  check Alcotest.int "endpoints consume no randomness" (Rng.bits before) (Rng.bits r)
+
+let test_rng_split_deterministic () =
+  let a = Rng.create 59 and b = Rng.create 59 in
+  let ca = Rng.split a and cb = Rng.split b in
+  for _ = 1 to 50 do
+    check Alcotest.int "split children agree across runs" (Rng.bits ca) (Rng.bits cb)
+  done
+
+let test_rng_split_isolated () =
+  let a = Rng.create 61 and b = Rng.create 61 in
+  let ca = Rng.split a and cb = Rng.split b in
+  ignore cb;
+  for _ = 1 to 1_000 do
+    ignore (Rng.bits ca)
+  done;
+  for _ = 1 to 50 do
+    check Alcotest.int "parent stream unaffected by child draws" (Rng.bits a) (Rng.bits b)
+  done
+
 let test_rng_shuffle_permutation () =
   let r = Rng.create 23 in
   let a = Array.init 50 (fun i -> i) in
@@ -302,6 +359,12 @@ let suite =
     ("rng exponential mean", `Quick, test_rng_exponential_mean);
     ("rng lognormal mean", `Quick, test_rng_lognormal_mean);
     ("rng normal moments", `Quick, test_rng_normal_moments);
+    ("rng int extreme bounds", `Quick, test_rng_int_extreme_bounds);
+    ("rng int bound one", `Quick, test_rng_int_bound_one);
+    ("rng bernoulli invalid", `Quick, test_rng_bernoulli_invalid);
+    ("rng bernoulli endpoints", `Quick, test_rng_bernoulli_endpoints);
+    ("rng split deterministic", `Quick, test_rng_split_deterministic);
+    ("rng split isolated", `Quick, test_rng_split_isolated);
     ("rng shuffle", `Quick, test_rng_shuffle_permutation);
     ("heap order", `Quick, test_heap_order);
     ("heap fifo ties", `Quick, test_heap_fifo_ties);
