@@ -6,10 +6,16 @@
      dune exec bench/main.exe                 -- all targets, quick profile
      dune exec bench/main.exe -- fig9 fig13   -- selected targets
      dune exec bench/main.exe -- --profile paper fig11
-     dune exec bench/main.exe -- --micro      -- only the microbenchmarks *)
+     dune exec bench/main.exe -- --jobs 8 fig12   -- sweeps on 8 domains
+     dune exec bench/main.exe -- --micro      -- only the microbenchmarks
+     dune exec bench/main.exe -- --macro      -- engine macro benchmark
+                                                 (writes BENCH_engine.json) *)
 
 module Experiments = Bfc_sim.Experiments
 module Exp_common = Bfc_sim.Exp_common
+module Pool = Bfc_sim.Pool
+module Runner = Bfc_sim.Runner
+module Scheme = Bfc_sim.Scheme
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: the constant-time per-packet operations the
@@ -79,13 +85,108 @@ let run_micro () =
   List.iter (fun t -> benchmark (Bechamel.Test.make_grouped ~name:"bfc" [ t ])) (micro_tests ())
 
 (* ------------------------------------------------------------------ *)
+(* Macro benchmark: end-to-end event throughput of the engine on a
+   quick-profile clos run, plus the domain-pool sweep speedup. Results go
+   to BENCH_engine.json so CI can archive them across commits. *)
+
+let quick_setup seed =
+  { (Exp_common.std Exp_common.Quick Scheme.bfc) with Exp_common.sp_seed = seed }
+
+let time_run f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run_macro ~jobs ~out () =
+  Printf.printf "\n################ macro benchmark: event engine (jobs=%d)\n%!" jobs;
+  (* 1. single-domain event throughput (the zero-allocation hot path) *)
+  let r, secs = time_run (fun () -> Exp_common.run_std (quick_setup 1)) in
+  let events = Runner.events_executed r.Exp_common.env in
+  let eps = float_of_int events /. secs in
+  let pool = Runner.pool r.Exp_common.env in
+  let allocated = Bfc_net.Packet.Pool.allocated pool in
+  let recycled = Bfc_net.Packet.Pool.recycled pool in
+  let recycle_ratio =
+    float_of_int recycled /. float_of_int (max 1 (allocated + recycled))
+  in
+  Printf.printf "  events executed       %d\n" events;
+  Printf.printf "  wall time             %.2f s\n" secs;
+  Printf.printf "  events/sec            %.0f\n" eps;
+  Printf.printf "  packets allocated     %d\n" allocated;
+  Printf.printf "  packets recycled      %d (%.1f%% of acquires)\n%!" recycled
+    (100.0 *. recycle_ratio);
+  (* 2. sweep speedup: the same independent tasks, 1 domain vs N *)
+  let tasks = max 4 jobs in
+  let thunks =
+    List.init tasks (fun i -> fun () ->
+        Runner.events_executed (Exp_common.run_std (quick_setup (i + 1))).Exp_common.env)
+  in
+  let seq_events, seq_secs = time_run (fun () -> Pool.run ~jobs:1 thunks) in
+  let par_events, par_secs = time_run (fun () -> Pool.run ~jobs thunks) in
+  assert (seq_events = par_events);
+  let speedup = seq_secs /. par_secs in
+  Printf.printf "  sweep of %d tasks      jobs=1 %.2fs, jobs=%d %.2fs -> %.2fx speedup\n%!"
+    tasks seq_secs jobs par_secs speedup;
+  (* Optional seed comparison: BFC_BENCH_BASELINE_S holds the wall seconds
+     the pre-optimization engine needs for this exact workload (measured by
+     building the seed revision and timing the same run_std call). *)
+  let comparison =
+    match Sys.getenv_opt "BFC_BENCH_BASELINE_S" with
+    | None -> ""
+    | Some s -> (
+      match float_of_string_opt s with
+      | None -> ""
+      | Some baseline_s ->
+        Printf.sprintf
+          {|,
+  "vs_seed": {
+    "workload": "run_std quick bfc seed=1",
+    "seed_seconds": %.3f,
+    "seconds": %.3f,
+    "improvement_pct": %.1f
+  }|}
+          baseline_s secs
+          (100.0 *. ((baseline_s /. secs) -. 1.0)))
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    {|{
+  "cores": %d,
+  "engine": {
+    "events": %d,
+    "seconds": %.3f,
+    "events_per_sec": %.0f
+  },
+  "packet_pool": {
+    "allocated": %d,
+    "recycled": %d,
+    "recycle_ratio": %.4f
+  },
+  "sweep": {
+    "tasks": %d,
+    "jobs": %d,
+    "seq_seconds": %.3f,
+    "par_seconds": %.3f,
+    "speedup": %.2f
+  }%s
+}
+|}
+    (Pool.recommended_jobs ()) events secs eps allocated recycled recycle_ratio tasks jobs
+    seq_secs par_secs speedup comparison;
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let profile = ref Exp_common.Quick in
   let targets = ref [] in
   let micro_only = ref false in
+  let macro_only = ref false in
   let csv_dir = ref None in
+  let jobs = ref (Pool.recommended_jobs ()) in
+  let bench_out = ref "BENCH_engine.json" in
   let rec parse = function
     | [] -> ()
     | "--profile" :: p :: rest ->
@@ -94,8 +195,17 @@ let () =
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       parse rest
+    | "--jobs" :: n :: rest ->
+      jobs := int_of_string n;
+      parse rest
     | "--micro" :: rest ->
       micro_only := true;
+      parse rest
+    | "--macro" :: rest ->
+      macro_only := true;
+      parse rest
+    | "--bench-out" :: path :: rest ->
+      bench_out := path;
       parse rest
     | "--list" :: _ ->
       List.iter print_endline (Experiments.names ());
@@ -106,6 +216,7 @@ let () =
   in
   parse args;
   if !micro_only then run_micro ()
+  else if !macro_only then run_macro ~jobs:!jobs ~out:!bench_out ()
   else begin
     let chosen =
       match List.rev !targets with
@@ -121,7 +232,7 @@ let () =
           names
     in
     let t0 = Unix.gettimeofday () in
-    List.iter (Experiments.run_and_print ?csv_dir:!csv_dir !profile) chosen;
+    List.iter (Experiments.run_parallel ?csv_dir:!csv_dir ~jobs:!jobs !profile) chosen;
     if List.length chosen > 1 then run_micro ();
-    Printf.printf "\nall done in %.1fs\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\nall done in %.1fs (jobs=%d)\n" (Unix.gettimeofday () -. t0) !jobs
   end

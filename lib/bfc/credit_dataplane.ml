@@ -71,7 +71,7 @@ let ctrl_queue t = data_queues t
 let regate t ~egress ~queue =
   if not t.uncredited.(egress) then begin
     let q = Switch.queue t.sw ~egress ~queue in
-    let next = match Fifo.peek q with None -> 0 | Some p -> p.Packet.size in
+    let next = Fifo.head_size q in
     let blocked = next > 0 && Balance.get t.balances.(egress) ~queue < next in
     Switch.set_queue_paused t.sw ~egress ~queue blocked
   end
@@ -105,7 +105,13 @@ let grant_back t ~in_port ~upstream_q ~bytes =
     ignore peer_is_host;
     (* hosts also run credit-gated NICs, so grant regardless *)
     let pkt =
-      Packet.make Packet.Hop_credit ~src:(Switch.node_id t.sw) ~dst:(-1) ~size:Packet.ctrl_bytes ()
+      match Switch.pool t.sw with
+      | Some p ->
+        Packet.Pool.acquire p Packet.Hop_credit ~src:(Switch.node_id t.sw) ~dst:(-1)
+          ~size:Packet.ctrl_bytes ()
+      | None ->
+        Packet.make ~sim:(Switch.sim t.sw) Packet.Hop_credit ~src:(Switch.node_id t.sw) ~dst:(-1)
+          ~size:Packet.ctrl_bytes ()
     in
     pkt.Packet.ctrl_a <- upstream_q;
     pkt.Packet.ctrl_b <- bytes;
@@ -122,7 +128,7 @@ let on_dequeue t _sw ~egress ~queue pkt =
     (* sending side: we just consumed downstream credit *)
     if not t.uncredited.(egress) then begin
       let q = Switch.queue t.sw ~egress ~queue in
-      let next = match Fifo.peek q with None -> 0 | Some p -> p.Packet.size in
+      let next = Fifo.head_size q in
       let blocked = Balance.consume t.balances.(egress) ~queue ~bytes:pkt.Packet.size ~next in
       if blocked then Switch.set_queue_paused t.sw ~egress ~queue true
     end;
@@ -144,7 +150,7 @@ let on_ctrl t _sw ~in_port pkt =
     let queue = pkt.Packet.ctrl_a in
     if queue >= 0 && queue < Switch.(config t.sw).queues_per_port then begin
       let q = Switch.queue t.sw ~egress:in_port ~queue in
-      let next = match Fifo.peek q with None -> 0 | Some p -> p.Packet.size in
+      let next = Fifo.head_size q in
       let unblock =
         Balance.replenish t.balances.(in_port) ~queue ~bytes:pkt.Packet.ctrl_b ~next
       in

@@ -136,8 +136,15 @@ let classify t _sw ~in_port:_ ~egress pkt =
     (* never reaches the data path *)
     ctrl_queue t ~cls:0
 
+let make_ctrl t kind =
+  match Switch.pool t.sw with
+  | Some p -> Packet.Pool.acquire p kind ~src:(Switch.node_id t.sw) ~dst:(-1) ~size:Packet.ctrl_bytes ()
+  | None ->
+    Packet.make ~sim:(Switch.sim t.sw) kind ~src:(Switch.node_id t.sw) ~dst:(-1)
+      ~size:Packet.ctrl_bytes ()
+
 let send_pause t ~egress ~upstream_q kind =
-  let pkt = Packet.make kind ~src:(Switch.node_id t.sw) ~dst:(-1) ~size:Packet.ctrl_bytes () in
+  let pkt = make_ctrl t kind in
   pkt.Packet.ctrl_a <- upstream_q;
   Switch.send_ctrl t.sw ~egress pkt;
   match kind with
@@ -267,10 +274,7 @@ let start_bitmap_refresh t period =
     (Sim.every sim ~period (fun () ->
          for ingress = 0 to Switch.n_ports t.sw - 1 do
            let paused = Pause_counter.paused_queues t.pc ~ingress in
-           let pkt =
-             Packet.make Packet.Pause_bitmap ~src:(Switch.node_id t.sw) ~dst:(-1)
-               ~size:Packet.ctrl_bytes ()
-           in
+           let pkt = make_ctrl t Packet.Pause_bitmap in
            pkt.Packet.ints <- Array.of_list paused;
            Switch.send_ctrl t.sw ~egress:ingress pkt
          done))

@@ -1,60 +1,125 @@
-type handle = { mutable alive : bool; mutable fired : bool; fn : unit -> unit }
+type t = {
+  mutable clock : Time.t;
+  heap : handle Bfc_util.Heap.t;
+  mutable live : int; (* scheduled, not yet fired, not cancelled *)
+  mutable executed : int;
+  mutable next_uid : int;
+}
 
-type t = { mutable clock : Time.t; heap : handle Bfc_util.Heap.t }
+and handle = {
+  owner : t;
+  mutable alive : bool;
+  mutable fired : bool;
+  mutable fn : unit -> unit;
+}
 
-type ticker = { mutable running : bool }
+type ticker = { mutable running : bool; tick_handle : handle }
 
-let create () = { clock = 0; heap = Bfc_util.Heap.create () }
+let create () =
+  { clock = 0; heap = Bfc_util.Heap.create (); live = 0; executed = 0; next_uid = 0 }
 
 let now t = t.clock
+
+let fresh_uid t =
+  let u = t.next_uid in
+  t.next_uid <- u + 1;
+  u
 
 let at t time fn =
   if time < t.clock then
     invalid_arg (Printf.sprintf "Sim.at: scheduling in the past (%d < %d)" time t.clock);
-  let h = { alive = true; fired = false; fn } in
+  let h = { owner = t; alive = true; fired = false; fn } in
   Bfc_util.Heap.push t.heap ~priority:time h;
+  t.live <- t.live + 1;
   h
 
 let after t delay fn = at t (t.clock + max 0 delay) fn
 
-let cancel h = if not h.fired then h.alive <- false
+(* Reusable handles: [make_handle] builds an unarmed handle once; [rearm]
+   puts it back in the heap. Steady-state periodic or chained events (port
+   wakeups, in-flight deliveries) allocate nothing per occurrence. A handle
+   that was [cancel]led while armed still has a stale heap entry and must
+   not be rearmed before its original deadline passes — the engine's own
+   users (Port) never cancel reusable handles. *)
+let make_handle t fn = { owner = t; alive = false; fired = false; fn }
+
+let rearm h ~at:time =
+  let t = h.owner in
+  if h.alive && not h.fired then invalid_arg "Sim.rearm: handle is already armed";
+  if time < t.clock then
+    invalid_arg (Printf.sprintf "Sim.rearm: scheduling in the past (%d < %d)" time t.clock);
+  h.alive <- true;
+  h.fired <- false;
+  Bfc_util.Heap.push t.heap ~priority:time h;
+  t.live <- t.live + 1
+
+let cancel h =
+  if h.alive && not h.fired then begin
+    h.alive <- false;
+    h.owner.live <- h.owner.live - 1
+  end
 
 let pending h = h.alive && not h.fired
 
+(* The ticker owns a single handle for its whole life: after each tick it
+   resets [fired] and pushes the same handle back, so a steady-state ticker
+   allocates nothing per period. [stop_ticker] can then cancel the armed
+   handle outright instead of leaving a live closure in the heap until its
+   deadline. *)
 let every t ~period fn =
-  let tick = { running = true } in
-  let rec arm () =
-    ignore
-      (after t period (fun () ->
-           if tick.running then begin
-             fn ();
-             arm ()
-           end))
+  let rec tick = { running = true; tick_handle = h }
+  and h =
+    {
+      owner = t;
+      alive = true;
+      fired = false;
+      fn =
+        (fun () ->
+          if tick.running then begin
+            fn ();
+            if tick.running then begin
+              h.fired <- false;
+              Bfc_util.Heap.push t.heap ~priority:(t.clock + period) h;
+              t.live <- t.live + 1
+            end
+          end);
+    }
   in
-  arm ();
+  Bfc_util.Heap.push t.heap ~priority:(t.clock + period) h;
+  t.live <- t.live + 1;
   tick
 
-let stop_ticker tick = tick.running <- false
+let stop_ticker tick =
+  if tick.running then begin
+    tick.running <- false;
+    cancel tick.tick_handle
+  end
 
 let step t =
-  match Bfc_util.Heap.pop t.heap with
-  | None -> false
-  | Some (time, h) ->
+  if Bfc_util.Heap.is_empty t.heap then false
+  else begin
+    let time = Bfc_util.Heap.peek_priority t.heap in
+    let h = Bfc_util.Heap.pop_min_exn t.heap in
     t.clock <- time;
-    if h.alive then begin
+    if h.alive && not h.fired then begin
       h.fired <- true;
+      t.live <- t.live - 1;
+      t.executed <- t.executed + 1;
       h.fn ();
       true
     end
     else false
+  end
 
 let run t ~until =
   let executed = ref 0 in
   let continue = ref true in
   while !continue do
-    match Bfc_util.Heap.min_priority t.heap with
-    | Some time when time <= until -> if step t then incr executed
-    | Some _ | None -> continue := false
+    if Bfc_util.Heap.is_empty t.heap then continue := false
+    else if Bfc_util.Heap.peek_priority t.heap <= until then begin
+      if step t then incr executed
+    end
+    else continue := false
   done;
   if t.clock < until then t.clock <- until;
   !executed
@@ -75,9 +140,10 @@ let run_until_idle ?(cap = safety_cap) t =
   let executed = ref 0 in
   while not (Bfc_util.Heap.is_empty t.heap) do
     if step t then incr executed;
-    if !executed > cap then
-      raise (Runaway { now = t.clock; pending_events = Bfc_util.Heap.length t.heap })
+    if !executed > cap then raise (Runaway { now = t.clock; pending_events = t.live })
   done;
   !executed
 
-let pending_events t = Bfc_util.Heap.length t.heap
+let pending_events t = t.live
+
+let executed_events t = t.executed

@@ -16,6 +16,12 @@ val create : unit -> t
 (** Current virtual time. *)
 val now : t -> Time.t
 
+(** [fresh_uid t] draws from a per-simulation counter (packet uids and the
+    like). Keeping the counter inside [Sim.t] makes uid sequences
+    reproducible across back-to-back runs in one process and race-free when
+    independent sims run on separate domains. *)
+val fresh_uid : t -> int
+
 (** [at t time f] runs [f] at absolute [time] (>= now). *)
 val at : t -> Time.t -> (unit -> unit) -> handle
 
@@ -27,12 +33,29 @@ val cancel : handle -> unit
 (** Is the event still pending (not run, not cancelled)? *)
 val pending : handle -> bool
 
+(** [make_handle t f] builds an unarmed, reusable handle for [f]. Arm it
+    with {!rearm}; once fired it can be rearmed again, so a steady-state
+    chained event (a port's idle wakeup, an in-flight delivery slot)
+    allocates nothing per occurrence. *)
+val make_handle : t -> (unit -> unit) -> handle
+
+(** [rearm h ~at] schedules an unarmed reusable handle at absolute time
+    [at]. Raises [Invalid_argument] if [h] is still armed or [at] is in the
+    past. A handle [cancel]led while armed leaves a stale heap entry behind
+    and must not be rearmed until that deadline has passed. *)
+val rearm : handle -> at:Time.t -> unit
+
 (** [every t ~period f] runs [f] every [period] starting at [now + period],
-    until [stop] is called on the returned controller. *)
+    until [stop_ticker] is called on the returned controller. The ticker
+    reuses one handle for its whole life, so steady-state ticking allocates
+    nothing per period. *)
 type ticker
 
 val every : t -> period:Time.t -> (unit -> unit) -> ticker
 
+(** Stops the ticker and cancels its armed handle, so the pending-event
+    count drops immediately instead of carrying a dead event to its
+    deadline. *)
 val stop_ticker : ticker -> unit
 
 (** [run t ~until] processes events until the clock passes [until] or the
@@ -51,6 +74,9 @@ exception Runaway of { now : Time.t; pending_events : int }
     Raises {!Runaway} after [cap] events (default 2^30). *)
 val run_until_idle : ?cap:int -> t -> int
 
-(** Number of events still in the heap (including cancelled tombstones);
-    for diagnostics only. *)
+(** Number of live scheduled events (cancelled tombstones excluded). *)
 val pending_events : t -> int
+
+(** Total events executed over the simulation's lifetime; the denominator
+    for events/sec macro benchmarks. *)
+val executed_events : t -> int

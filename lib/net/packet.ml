@@ -21,11 +21,11 @@ type int_hop = {
 }
 
 type t = {
-  uid : int;
-  kind : kind;
-  flow : Flow.t option;
-  src : int;
-  dst : int;
+  mutable uid : int;
+  mutable kind : kind;
+  mutable flow : Flow.t option;
+  mutable src : int;
+  mutable dst : int;
   mutable size : int;
   mutable payload : int;
   mutable seq : int;
@@ -38,7 +38,8 @@ type t = {
   mutable bp_upq : int;
   mutable bp_counted : bool;
   mutable bp_sampled : bool;
-  mutable int_hops : int_hop list;
+  mutable int_hops : int_hop array;
+  mutable int_cnt : int;
   mutable sent_at : Bfc_engine.Time.t;
   mutable enq_at : Bfc_engine.Time.t;
   mutable q_delay : int;
@@ -47,6 +48,7 @@ type t = {
   mutable ctrl_b : int;
   mutable ints : int array;
   mutable path_hint : int;
+  mutable pooled : bool;
 }
 
 let header_bytes = 48
@@ -55,12 +57,20 @@ let ack_bytes = 64
 
 let ctrl_bytes = 64
 
-let next_uid = ref 0
+(* Fallback uid source for packets made outside any simulation (unit tests,
+   standalone tools). Pools and [~sim] callers draw from the per-sim counter
+   instead, which is what keeps uid sequences deterministic per run and
+   race-free across domains. *)
+let fallback_uid = Atomic.make 0
 
-let make kind ?flow ~src ~dst ~size ?(payload = 0) ?(seq = 0) ?(prio = 0) () =
-  incr next_uid;
+let make ?sim kind ?flow ~src ~dst ~size ?(payload = 0) ?(seq = 0) ?(prio = 0) () =
+  let uid =
+    match sim with
+    | Some s -> Bfc_engine.Sim.fresh_uid s
+    | None -> Atomic.fetch_and_add fallback_uid 1
+  in
   {
-    uid = !next_uid;
+    uid;
     kind;
     flow;
     src;
@@ -77,7 +87,8 @@ let make kind ?flow ~src ~dst ~size ?(payload = 0) ?(seq = 0) ?(prio = 0) () =
     bp_upq = -1;
     bp_counted = false;
     bp_sampled = true;
-    int_hops = [];
+    int_hops = [||];
+    int_cnt = 0;
     sent_at = 0;
     enq_at = 0;
     q_delay = 0;
@@ -86,12 +97,66 @@ let make kind ?flow ~src ~dst ~size ?(payload = 0) ?(seq = 0) ?(prio = 0) () =
     ctrl_b = 0;
     ints = [||];
     path_hint = -1;
+    pooled = false;
   }
 
-let data ~flow ~seq ~payload ?(extra_header = 0) () =
-  make Data ~flow ~src:flow.Flow.src ~dst:flow.Flow.dst
+let data ?sim ~flow ~seq ~payload ?(extra_header = 0) () =
+  make ?sim Data ~flow ~src:flow.Flow.src ~dst:flow.Flow.dst
     ~size:(payload + header_bytes + extra_header)
     ~payload ~seq ~prio:flow.prio_class ()
+
+(* ------------------------------ INT stack ------------------------------ *)
+
+let fresh_hop () = { h_ts = 0; h_tx_bytes = 0; h_qlen = 0; h_gbps = 0.0; h_link = -1 }
+
+let grow_hops t needed =
+  let cap = Array.length t.int_hops in
+  if needed > cap then begin
+    let ncap = max needed (max 4 (cap * 2)) in
+    let nh = Array.init ncap (fun i -> if i < cap then t.int_hops.(i) else fresh_hop ()) in
+    t.int_hops <- nh
+  end
+
+let add_int_hop t ~ts ~tx_bytes ~qlen ~gbps ~link =
+  grow_hops t (t.int_cnt + 1);
+  let h = t.int_hops.(t.int_cnt) in
+  h.h_ts <- ts;
+  h.h_tx_bytes <- tx_bytes;
+  h.h_qlen <- qlen;
+  h.h_gbps <- gbps;
+  h.h_link <- link;
+  t.int_cnt <- t.int_cnt + 1
+
+let int_hop_count t = t.int_cnt
+
+let get_int_hop t i =
+  if i < 0 || i >= t.int_cnt then invalid_arg "Packet.get_int_hop: index out of bounds";
+  t.int_hops.(i)
+
+let iter_int_hops f t =
+  for i = 0 to t.int_cnt - 1 do
+    f t.int_hops.(i)
+  done
+
+let clear_int_hops t = t.int_cnt <- 0
+
+(* Field-by-field copy into [dst]'s own (reused) hop records. Sharing the
+   array between packets would alias hop records across a recycled packet
+   and a live ack — the classic use-after-release bug a pool invites. *)
+let copy_int_hops ~src ~dst =
+  grow_hops dst src.int_cnt;
+  for i = 0 to src.int_cnt - 1 do
+    let s = src.int_hops.(i) in
+    let d = dst.int_hops.(i) in
+    d.h_ts <- s.h_ts;
+    d.h_tx_bytes <- s.h_tx_bytes;
+    d.h_qlen <- s.h_qlen;
+    d.h_gbps <- s.h_gbps;
+    d.h_link <- s.h_link
+  done;
+  dst.int_cnt <- src.int_cnt
+
+(* ------------------------------ Exceptions ----------------------------- *)
 
 exception Missing_flow of { uid : int; at : Bfc_engine.Time.t }
 
@@ -111,3 +176,96 @@ let is_control t =
   | Data | Ack | Nack | Credit | Credit_req | Grant -> false
 
 let flow_id t = match t.flow with Some f -> f.Flow.id | None -> -1
+
+(* -------------------------------- Pool --------------------------------- *)
+
+module Pool = struct
+  type packet = t
+
+  type nonrec t = {
+    sim : Bfc_engine.Sim.t;
+    mutable free : packet array;
+    mutable n_free : int;
+    mutable allocated : int;
+    mutable recycled : int;
+  }
+
+  let create ~sim = { sim; free = [||]; n_free = 0; allocated = 0; recycled = 0 }
+
+  let free_count t = t.n_free
+
+  let allocated t = t.allocated
+
+  let recycled t = t.recycled
+
+  (* Full reset to [make]'s defaults: an acquired packet must be
+     indistinguishable from a fresh one, or a stale [ecn_echo] / [bp_*] /
+     cursor silently corrupts the next flow that reuses it. The INT-hop
+     backing array is kept (records are reused via the cursor). *)
+  let reset (p : packet) =
+    p.flow <- None;
+    p.src <- -1;
+    p.dst <- -1;
+    p.size <- 0;
+    p.payload <- 0;
+    p.seq <- 0;
+    p.ecn <- false;
+    p.ecn_echo <- false;
+    p.prio <- 0;
+    p.remaining <- 0;
+    p.upstream_q <- 0;
+    p.bp_in_port <- -1;
+    p.bp_upq <- -1;
+    p.bp_counted <- false;
+    p.bp_sampled <- true;
+    p.int_cnt <- 0;
+    p.sent_at <- 0;
+    p.enq_at <- 0;
+    p.q_delay <- 0;
+    p.hop_cnt <- 0;
+    p.ctrl_a <- 0;
+    p.ctrl_b <- 0;
+    p.ints <- [||];
+    p.path_hint <- -1
+
+  let release t (p : packet) =
+    if p.pooled then invalid_arg "Packet.Pool.release: double release";
+    reset p;
+    p.pooled <- true;
+    let cap = Array.length t.free in
+    if t.n_free = cap then begin
+      let ncap = if cap = 0 then 64 else cap * 2 in
+      let nf = Array.make ncap p in
+      Array.blit t.free 0 nf 0 t.n_free;
+      t.free <- nf
+    end;
+    t.free.(t.n_free) <- p;
+    t.n_free <- t.n_free + 1
+
+  let acquire t kind ?flow ~src ~dst ~size ?(payload = 0) ?(seq = 0) ?(prio = 0) () =
+    if t.n_free = 0 then begin
+      t.allocated <- t.allocated + 1;
+      make ~sim:t.sim kind ?flow ~src ~dst ~size ~payload ~seq ~prio ()
+    end
+    else begin
+      t.n_free <- t.n_free - 1;
+      let p = t.free.(t.n_free) in
+      t.recycled <- t.recycled + 1;
+      p.pooled <- false;
+      p.uid <- Bfc_engine.Sim.fresh_uid t.sim;
+      p.kind <- kind;
+      p.flow <- flow;
+      p.src <- src;
+      p.dst <- dst;
+      p.size <- size;
+      p.payload <- payload;
+      p.seq <- seq;
+      p.prio <- prio;
+      p
+    end
+
+  let data t ~flow ~seq ~payload ?(extra_header = 0) () =
+    acquire t Data ~flow ~src:flow.Flow.src ~dst:flow.Flow.dst
+      ~size:(payload + header_bytes + extra_header)
+      ~payload ~seq ~prio:flow.prio_class ()
+end

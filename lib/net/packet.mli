@@ -4,7 +4,8 @@
     packets; protocols use the fields they need (mirroring how real headers
     stack optional fields). Per-hop BFC scratch fields ([bp_*]) are
     overwritten at every switch, exactly like metadata in a switch
-    pipeline. *)
+    pipeline. All fields are mutable so packets can be recycled through
+    {!Pool} without allocation on the hot path. *)
 
 type kind =
   | Data
@@ -31,11 +32,11 @@ type int_hop = {
 }
 
 type t = {
-  uid : int;
-  kind : kind;
-  flow : Flow.t option;
-  src : int;
-  dst : int;
+  mutable uid : int;
+  mutable kind : kind;
+  mutable flow : Flow.t option;
+  mutable src : int;
+  mutable dst : int;
   mutable size : int; (** bytes on the wire *)
   mutable payload : int; (** data bytes carried (<= size) *)
   mutable seq : int;
@@ -48,7 +49,11 @@ type t = {
   mutable bp_upq : int;
   mutable bp_counted : bool;
   mutable bp_sampled : bool; (** recirculation-sampling variant: bookkept? *)
-  mutable int_hops : int_hop list; (** HPCC INT stack, most recent hop first *)
+  mutable int_hops : int_hop array;
+      (** HPCC INT stack storage; only the first [int_cnt] records are
+          valid. Use {!add_int_hop} / {!iter_int_hops} — records are reused
+          in place, never consed. *)
+  mutable int_cnt : int; (** INT stack cursor *)
   mutable sent_at : Bfc_engine.Time.t;
   mutable enq_at : Bfc_engine.Time.t;
   mutable q_delay : int; (** accumulated queuing delay over all hops (ns) *)
@@ -57,6 +62,7 @@ type t = {
   mutable ctrl_b : int;
   mutable ints : int array; (** bitmap payloads etc. *)
   mutable path_hint : int; (** pinned spine for spraying; -1 = ECMP *)
+  mutable pooled : bool; (** currently parked in a {!Pool} free list *)
 }
 
 val header_bytes : int
@@ -65,8 +71,12 @@ val ack_bytes : int
 
 val ctrl_bytes : int
 
-(** [make kind ~flow ~src ~dst ~size ...] — fresh packet with unique uid. *)
+(** [make kind ~flow ~src ~dst ~size ...] — fresh packet. With [?sim] the
+    uid comes from that simulation's counter ({!Bfc_engine.Sim.fresh_uid}),
+    which is deterministic per run and safe under domains; without it a
+    process-global atomic fallback is used (tests, standalone tools). *)
 val make :
+  ?sim:Bfc_engine.Sim.t ->
   kind ->
   ?flow:Flow.t ->
   src:int ->
@@ -80,7 +90,31 @@ val make :
 
 (** [data ~flow ~seq ~payload ~extra_header] — a data packet of the flow;
     wire size = payload + header + extra_header. *)
-val data : flow:Flow.t -> seq:int -> payload:int -> ?extra_header:int -> unit -> t
+val data :
+  ?sim:Bfc_engine.Sim.t -> flow:Flow.t -> seq:int -> payload:int -> ?extra_header:int -> unit -> t
+
+(** [add_int_hop t ~ts ~tx_bytes ~qlen ~gbps ~link] appends an INT record,
+    reusing the packet's preallocated hop storage (no allocation once the
+    array has grown to the path length). *)
+val add_int_hop :
+  t -> ts:Bfc_engine.Time.t -> tx_bytes:int -> qlen:int -> gbps:float -> link:int -> unit
+
+val int_hop_count : t -> int
+
+(** [get_int_hop t i] is the [i]-th stamped hop (0 = first hop on the
+    path). Raises [Invalid_argument] outside [0, int_hop_count)]. *)
+val get_int_hop : t -> int -> int_hop
+
+(** [iter_int_hops f t] applies [f] to each valid hop record in path
+    order, allocation-free. *)
+val iter_int_hops : (int_hop -> unit) -> t -> unit
+
+val clear_int_hops : t -> unit
+
+(** [copy_int_hops ~src ~dst] copies the INT stack field-by-field into
+    [dst]'s own records — no structure sharing, so recycling [src] cannot
+    corrupt [dst]. *)
+val copy_int_hops : src:t -> dst:t -> unit
 
 (** Raised by [flow_exn] when a packet that must belong to a flow (a
     data-path packet inside a dataplane hook or a host receive path) carries
@@ -95,3 +129,43 @@ val is_control : t -> bool
 
 (** Flow id or -1. *)
 val flow_id : t -> int
+
+(** Per-simulation free-list pool. [release] resets every mutable field to
+    the [make] defaults (keeping the INT-hop backing array) and parks the
+    packet; [acquire] hands it back with a fresh per-sim uid. Double
+    release raises [Invalid_argument]. One pool per simulation — packets
+    never migrate between domains. *)
+module Pool : sig
+  type packet = t
+
+  type t
+
+  val create : sim:Bfc_engine.Sim.t -> t
+
+  val acquire :
+    t ->
+    kind ->
+    ?flow:Flow.t ->
+    src:int ->
+    dst:int ->
+    size:int ->
+    ?payload:int ->
+    ?seq:int ->
+    ?prio:int ->
+    unit ->
+    packet
+
+  (** Mirrors {!val:Packet.data} but draws from the pool. *)
+  val data : t -> flow:Flow.t -> seq:int -> payload:int -> ?extra_header:int -> unit -> packet
+
+  val release : t -> packet -> unit
+
+  (** Packets currently parked in the free list. *)
+  val free_count : t -> int
+
+  (** Fresh allocations made because the free list was empty. *)
+  val allocated : t -> int
+
+  (** Acquisitions served from the free list. *)
+  val recycled : t -> int
+end

@@ -1,3 +1,16 @@
+(* The transmitter is clock-based rather than event-based: [send] records
+   when serialization will finish ([busy_until]) and schedules no completion
+   event of its own. A device that wants the port back calls
+   [ensure_wakeup], which arms one reusable handle at [busy_until] — so an
+   egress that goes idle with an empty queue costs zero events, and a
+   backlogged egress costs one (allocation-free) wakeup per transmission
+   instead of one fresh closure + handle per packet.
+
+   Deliveries reuse handles too: in-flight packets sit in a FIFO ring
+   (delivery times are monotone per port — sends are serialized and [prop]
+   is constant), and each delivery event borrows a handle from a per-port
+   free list, popping the ring head when it fires. *)
+
 type t = {
   sim : Bfc_engine.Sim.t;
   gid : int;
@@ -5,11 +18,17 @@ type t = {
   prop : Bfc_engine.Time.t;
   peer : Node.t;
   peer_port : int;
-  mutable busy : bool;
+  mutable busy_until : Bfc_engine.Time.t;
   mutable tx_bytes : int;
   mutable on_idle : unit -> unit;
   mutable fault : Packet.t -> bool; (* fault injection: drop on the wire? *)
   mutable dropped : int;
+  mutable wake : Bfc_engine.Sim.handle option; (* lazy idle wakeup *)
+  mutable ring : Packet.t array; (* in-flight deliveries, circular FIFO *)
+  mutable head : int;
+  mutable count : int;
+  mutable hpool : Bfc_engine.Sim.handle array; (* free delivery handles *)
+  mutable hpool_n : int;
 }
 
 let create ~sim ~gid ~gbps ~prop ~peer ~peer_port =
@@ -20,11 +39,17 @@ let create ~sim ~gid ~gbps ~prop ~peer ~peer_port =
     prop;
     peer;
     peer_port;
-    busy = false;
+    busy_until = 0;
     tx_bytes = 0;
     on_idle = ignore;
     fault = (fun _ -> false);
     dropped = 0;
+    wake = None;
+    ring = [||];
+    head = 0;
+    count = 0;
+    hpool = [||];
+    hpool_n = 0;
   }
 
 let gid t = t.gid
@@ -37,7 +62,7 @@ let peer t = t.peer
 
 let peer_port t = t.peer_port
 
-let busy t = t.busy
+let busy t = Bfc_engine.Sim.now t.sim < t.busy_until
 
 let tx_bytes t = t.tx_bytes
 
@@ -51,20 +76,77 @@ let () =
       Some (Printf.sprintf "Port.Busy (send on busy transmitter, port gid=%d, t=%dns)" gid now)
     | _ -> None)
 
+let ring_push t pkt =
+  let cap = Array.length t.ring in
+  if t.count = cap then begin
+    (* seed new slots with [pkt]; stale slots are overwritten before use *)
+    let ncap = if cap = 0 then 8 else cap * 2 in
+    let nr = Array.make ncap pkt in
+    for i = 0 to t.count - 1 do
+      nr.(i) <- t.ring.((t.head + i) mod cap)
+    done;
+    t.ring <- nr;
+    t.head <- 0
+  end;
+  t.ring.((t.head + t.count) mod Array.length t.ring) <- pkt;
+  t.count <- t.count + 1
+
+let ring_pop t =
+  let pkt = t.ring.(t.head) in
+  t.head <- (t.head + 1) mod Array.length t.ring;
+  t.count <- t.count - 1;
+  pkt
+
+let hpool_put t h =
+  let cap = Array.length t.hpool in
+  if t.hpool_n = cap then begin
+    let ncap = if cap = 0 then 8 else cap * 2 in
+    let nh = Array.make ncap h in
+    Array.blit t.hpool 0 nh 0 t.hpool_n;
+    t.hpool <- nh
+  end;
+  t.hpool.(t.hpool_n) <- h;
+  t.hpool_n <- t.hpool_n + 1
+
+let new_delivery_handle t =
+  let hr = ref None in
+  let h =
+    Bfc_engine.Sim.make_handle t.sim (fun () ->
+        (match !hr with Some h -> hpool_put t h | None -> ());
+        Node.deliver t.peer ~in_port:t.peer_port (ring_pop t))
+  in
+  hr := Some h;
+  h
+
+let schedule_delivery t pkt ~at =
+  ring_push t pkt;
+  let h =
+    if t.hpool_n > 0 then begin
+      t.hpool_n <- t.hpool_n - 1;
+      t.hpool.(t.hpool_n)
+    end
+    else new_delivery_handle t
+  in
+  Bfc_engine.Sim.rearm h ~at
+
 let send t pkt =
-  if t.busy then raise (Busy { gid = t.gid; now = Bfc_engine.Sim.now t.sim });
-  t.busy <- true;
+  let now = Bfc_engine.Sim.now t.sim in
+  if now < t.busy_until then raise (Busy { gid = t.gid; now });
   let ser = Bfc_engine.Time.tx_time ~gbps:t.gbps ~bytes:pkt.Packet.size in
+  t.busy_until <- now + ser;
   t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
-  ignore
-    (Bfc_engine.Sim.after t.sim ser (fun () ->
-         t.busy <- false;
-         t.on_idle ()));
   if t.fault pkt then t.dropped <- t.dropped + 1
-  else
-    ignore
-      (Bfc_engine.Sim.after t.sim (ser + t.prop) (fun () ->
-           Node.deliver t.peer ~in_port:t.peer_port pkt))
+  else schedule_delivery t pkt ~at:(now + ser + t.prop)
+
+let ensure_wakeup t =
+  if Bfc_engine.Sim.now t.sim < t.busy_until then begin
+    match t.wake with
+    | Some h -> if not (Bfc_engine.Sim.pending h) then Bfc_engine.Sim.rearm h ~at:t.busy_until
+    | None ->
+      let h = Bfc_engine.Sim.make_handle t.sim (fun () -> t.on_idle ()) in
+      t.wake <- Some h;
+      Bfc_engine.Sim.rearm h ~at:t.busy_until
+  end
 
 let send_ctrl t pkt =
   if t.fault pkt then t.dropped <- t.dropped + 1

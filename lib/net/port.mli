@@ -1,9 +1,13 @@
 (** A directed egress port: one end of a link plus its transmitter.
 
     The owning device drives the port: it may [send] only when the port is
-    idle; completion of serialization triggers [on_idle], at which point the
-    device's scheduler picks the next packet. Delivery at the peer happens
-    one propagation delay after serialization finishes (store-and-forward).
+    idle. The transmitter is clock-based: [send] records when serialization
+    finishes and schedules no completion event. A device that finds the
+    port [busy] and still has work queued calls [ensure_wakeup], which arms
+    one reusable handle to fire [on_idle] the moment the transmitter frees
+    up — ports that go idle with nothing queued cost no event at all.
+    Delivery at the peer happens one propagation delay after serialization
+    finishes (store-and-forward).
 
     Control packets ([send_ctrl]) model the dedicated high-priority control
     queue of the paper: they are delivered after the propagation delay
@@ -50,9 +54,15 @@ val send : t -> Packet.t -> unit
     transmitter. *)
 val send_ctrl : t -> Packet.t -> unit
 
-(** The device's "transmitter idle" callback; fired when serialization of
-    the current packet completes. *)
+(** The device's "transmitter idle" callback; fired when an [ensure_wakeup]
+    request matures. *)
 val set_on_idle : t -> (unit -> unit) -> unit
+
+(** Arm the idle wakeup: if the transmitter is busy, [on_idle] fires exactly
+    when it frees up (no-op if already armed, or if the port is idle now).
+    Devices call this instead of polling — once per stretch of busy time,
+    not once per packet. *)
+val ensure_wakeup : t -> unit
 
 (** Fault injection: packets for which the predicate returns true are
     silently lost on the wire (fiber corruption, §3.3 "Idempotent state";

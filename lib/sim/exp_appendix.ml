@@ -34,11 +34,14 @@ let fig15 profile =
         Scheme.Ideal_fq;
       ]
   in
-  let rows = ref [] in
-  List.iter
-    (fun scheme ->
-      List.iter
-        (fun n_eleph ->
+  let combos =
+    List.concat_map (fun s -> List.map (fun n -> (s, n)) elephant_counts) schemes
+  in
+  let rows =
+    sweep
+      (List.map
+         (fun (scheme, n_eleph) ->
+           pt (Printf.sprintf "fig15:%s:%d" (Scheme.name scheme) n_eleph) (fun () ->
           let sim = Sim.create () in
           let spines, tors, hosts_per_tor = clos_scale profile in
           let cl = Topology.clos sim ~spines ~tors ~hosts_per_tor ~gbps:100.0 ~prop:(Time.us 1.0) in
@@ -80,21 +83,19 @@ let fig15 profile =
           Runner.inject env (Traffic.merge [ elephants; direct; indirect ]);
           Runner.run env ~until:dur;
           Runner.drain env ~budget:(2 * dur);
-          rows :=
-            [
-              Scheme.name scheme;
-              string_of_int n_eleph;
-              cell (Metrics.median_slowdown env direct);
-              cell (Metrics.median_slowdown env indirect);
-            ]
-            :: !rows)
-        elephant_counts)
-    schemes;
+          [
+            Scheme.name scheme;
+            string_of_int n_eleph;
+            cell (Metrics.median_slowdown env direct);
+            cell (Metrics.median_slowdown env indirect);
+          ]))
+         combos)
+  in
   [
     {
       title = "Fig 15: median mice slowdown vs number of elephants to one receiver";
       header = [ "scheme"; "elephants"; "direct mice p50"; "indirect mice p50" ];
-      rows = List.rev !rows;
+      rows;
     };
   ]
 
@@ -103,28 +104,33 @@ let fig15 profile =
 
 let fig16 profile =
   let cc = Scheme.Bfc { Scheme.bfc_default with Scheme.delay_cc = true } in
-  let rows = ref [] and summary = ref [] in
-  List.iter
-    (fun (tag, incast) ->
-      List.iter
-        (fun scheme ->
-          let s = { (std profile scheme) with sp_incast = incast } in
-          let r = run_std s in
-          let name = Scheme.name scheme ^ tag in
-          rows := !rows @ List.map (fun row -> name :: row) (fct_rows r);
-          summary := [ name; cell (buffer_p99 r /. 1e6) ] :: !summary)
-        [ Scheme.bfc; cc ])
-    [ (" +incast", Some default_incast); (" no-incast", None) ];
+  let combos =
+    List.concat_map
+      (fun (tag, incast) -> List.map (fun s -> (tag, incast, s)) [ Scheme.bfc; cc ])
+      [ (" +incast", Some default_incast); (" no-incast", None) ]
+  in
+  let results =
+    sweep
+      (List.map
+         (fun (tag, incast, scheme) ->
+           pt ("fig16:" ^ Scheme.name scheme ^ tag) (fun () ->
+               let s = { (std profile scheme) with sp_incast = incast } in
+               let r = run_std s in
+               let name = Scheme.name scheme ^ tag in
+               ( List.map (fun row -> name :: row) (fct_rows r),
+                 [ name; cell (buffer_p99 r /. 1e6) ] )))
+         combos)
+  in
   [
     {
       title = "Fig 16: BFC vs BFC+CC (App A.1), FB workload — p99 slowdown";
       header = [ "scheme"; "bucket"; "n"; "avg"; "p50"; "p95"; "p99" ];
-      rows = !rows;
+      rows = List.concat_map fst results;
     };
     {
       title = "Fig 16b: buffer";
       header = [ "scheme"; "p99 buffer(MB)" ];
-      rows = List.rev !summary;
+      rows = List.map snd results;
     };
   ]
 
@@ -138,37 +144,38 @@ let fig20 profile =
     | _ -> [ Scheme.bfc; Scheme.bfc_q 128; Scheme.hpcc; Scheme.dctcp ]
   in
   let classes = 4 in
-  let rows = ref [] in
-  List.iter
-    (fun scheme ->
-      let scheme =
-        match scheme with
-        | Scheme.Bfc o -> Scheme.Bfc { o with Scheme.classes }
-        | s -> s
-      in
-      let s = { (std profile scheme) with sp_classes = classes } in
-      let r = run_std s in
-      for c = 0 to classes - 1 do
-        let sub = List.filter (fun f -> f.Flow.prio_class = c) r.flows in
-        let short = Metrics.short_p99 r.env ~since:r.measure_from sub in
-        let all = Metrics.fct_overall r.env sub in
-        rows :=
-          [
-            Scheme.name scheme;
-            string_of_int c;
-            string_of_int all.Metrics.count;
-            cell short;
-            cell all.Metrics.avg;
-            cell all.Metrics.p99;
-          ]
-          :: !rows
-      done)
-    schemes;
+  let rows =
+    List.concat
+      (sweep
+         (List.map
+            (fun scheme ->
+              pt ("fig20:" ^ Scheme.name scheme) (fun () ->
+                  let scheme =
+                    match scheme with
+                    | Scheme.Bfc o -> Scheme.Bfc { o with Scheme.classes }
+                    | s -> s
+                  in
+                  let s = { (std profile scheme) with sp_classes = classes } in
+                  let r = run_std s in
+                  List.init classes (fun c ->
+                      let sub = List.filter (fun f -> f.Flow.prio_class = c) r.flows in
+                      let short = Metrics.short_p99 r.env ~since:r.measure_from sub in
+                      let all = Metrics.fct_overall r.env sub in
+                      [
+                        Scheme.name scheme;
+                        string_of_int c;
+                        string_of_int all.Metrics.count;
+                        cell short;
+                        cell all.Metrics.avg;
+                        cell all.Metrics.p99;
+                      ])))
+            schemes))
+  in
   [
     {
       title = "Fig 20: 4 priority classes (FB 60%, 15% each) — per-class slowdown";
       header = [ "scheme"; "class"; "n"; "short p99"; "overall avg"; "overall p99" ];
-      rows = List.rev !rows;
+      rows;
     };
   ]
 
@@ -184,45 +191,46 @@ let fig21 profile =
       cell (Metrics.fct_overall r.env r.flows).Metrics.p99;
     ]
   in
-  let rows = ref [] in
-  (* HPCC eta *)
-  List.iter
-    (fun eta ->
-      let s = std profile (Scheme.Hpcc { eta; max_stage = 5 }) in
-      let r = run_std s in
-      rows := summarize (Printf.sprintf "HPCC eta=%.2f" eta) r :: !rows)
-    (match profile with Smoke -> [ 0.95 ] | _ -> [ 0.90; 0.95; 0.98 ]);
-  (* DCTCP ECN threshold *)
-  List.iter
-    (fun (kmin, kmax) ->
-      let s =
-        {
-          (std profile Scheme.dctcp) with
-          sp_params = (fun p -> { p with Runner.ecn_kmin = kmin; ecn_kmax = kmax });
-        }
-      in
-      let r = run_std s in
-      rows := summarize (Printf.sprintf "DCTCP K=%dK/%dK" (kmin / 1000) (kmax / 1000)) r :: !rows)
-    (match profile with
-    | Smoke -> [ (100_000, 400_000) ]
-    | _ -> [ (25_000, 100_000); (100_000, 400_000); (400_000, 1_600_000) ]);
-  (* ExpressPass aggressiveness *)
-  List.iter
-    (fun (target_loss, w_init) ->
-      let s =
-        std profile (Scheme.Expresspass { target_loss; w_init; w_max = 0.5 })
-      in
-      let r = run_std s in
-      rows :=
-        summarize (Printf.sprintf "xpass loss=%.2f w0=%.3f" target_loss w_init) r :: !rows)
-    (match profile with
-    | Smoke -> [ (0.1, 0.0625) ]
-    | _ -> [ (0.02, 0.0625); (0.1, 0.0625); (0.3, 0.0625); (0.1, 0.5) ]);
+  (* one flat point list across the three parameter families *)
+  let hpcc_pts =
+    List.map
+      (fun eta ->
+        pt (Printf.sprintf "fig21:hpcc:%.2f" eta) (fun () ->
+            let s = std profile (Scheme.Hpcc { eta; max_stage = 5 }) in
+            summarize (Printf.sprintf "HPCC eta=%.2f" eta) (run_std s)))
+      (match profile with Smoke -> [ 0.95 ] | _ -> [ 0.90; 0.95; 0.98 ])
+  in
+  let dctcp_pts =
+    List.map
+      (fun (kmin, kmax) ->
+        pt (Printf.sprintf "fig21:dctcp:%d" kmin) (fun () ->
+            let s =
+              {
+                (std profile Scheme.dctcp) with
+                sp_params = (fun p -> { p with Runner.ecn_kmin = kmin; ecn_kmax = kmax });
+              }
+            in
+            summarize (Printf.sprintf "DCTCP K=%dK/%dK" (kmin / 1000) (kmax / 1000)) (run_std s)))
+      (match profile with
+      | Smoke -> [ (100_000, 400_000) ]
+      | _ -> [ (25_000, 100_000); (100_000, 400_000); (400_000, 1_600_000) ])
+  in
+  let xpass_pts =
+    List.map
+      (fun (target_loss, w_init) ->
+        pt (Printf.sprintf "fig21:xpass:%g:%g" target_loss w_init) (fun () ->
+            let s = std profile (Scheme.Expresspass { target_loss; w_init; w_max = 0.5 }) in
+            summarize (Printf.sprintf "xpass loss=%.2f w0=%.3f" target_loss w_init) (run_std s)))
+      (match profile with
+      | Smoke -> [ (0.1, 0.0625) ]
+      | _ -> [ (0.02, 0.0625); (0.1, 0.0625); (0.3, 0.0625); (0.1, 0.5) ])
+  in
+  let rows = sweep (hpcc_pts @ dctcp_pts @ xpass_pts) in
   [
     {
       title = "Fig 21: parameter sensitivity (FB 60%, no incast)";
       header = [ "config"; "short p99"; "long avg"; "overall p99" ];
-      rows = List.rev !rows;
+      rows;
     };
   ]
 
@@ -235,25 +243,31 @@ let fig22 profile =
     | Smoke -> [ Scheme.bfc ]
     | _ -> [ Scheme.bfc; Scheme.hpcc; Scheme.dctcp; Scheme.Ideal_fq ]
   in
-  let rows = ref [] in
-  List.iter
-    (fun (tag, incast) ->
-      List.iter
-        (fun scheme ->
-          let s =
-            { (std profile scheme) with sp_incast = incast; sp_locality = Some 0.5 }
-          in
-          let r = run_std s in
-          rows := !rows @ List.map (fun row -> (Scheme.name scheme ^ tag) :: row) (fct_rows r))
-        schemes)
-    (match profile with
-    | Smoke -> [ (" no-incast", None) ]
-    | _ -> [ (" +incast", Some default_incast); (" no-incast", None) ]);
+  let combos =
+    List.concat_map
+      (fun (tag, incast) -> List.map (fun s -> (tag, incast, s)) schemes)
+      (match profile with
+      | Smoke -> [ (" no-incast", None) ]
+      | _ -> [ (" +incast", Some default_incast); (" no-incast", None) ])
+  in
+  let rows =
+    List.concat
+      (sweep
+         (List.map
+            (fun (tag, incast, scheme) ->
+              pt ("fig22:" ^ Scheme.name scheme ^ tag) (fun () ->
+                  let s =
+                    { (std profile scheme) with sp_incast = incast; sp_locality = Some 0.5 }
+                  in
+                  let r = run_std s in
+                  List.map (fun row -> (Scheme.name scheme ^ tag) :: row) (fct_rows r)))
+            combos))
+  in
   [
     {
       title = "Fig 22: rack-local traffic matrix (equalized link load) — FCT slowdown";
       header = [ "scheme"; "bucket"; "n"; "avg"; "p50"; "p95"; "p99" ];
-      rows = !rows;
+      rows;
     };
   ]
 
@@ -261,25 +275,32 @@ let fig22 profile =
 (* Fig. 23: slow start vs line-rate start.                               *)
 
 let fig23 profile =
-  let rows = ref [] in
-  List.iter
-    (fun (tag, incast) ->
-      List.iter
-        (fun (name, slow_start) ->
-          let s =
-            { (std profile (Scheme.Dctcp { slow_start })) with sp_incast = incast }
-          in
-          let r = run_std s in
-          rows := !rows @ List.map (fun row -> (name ^ tag) :: row) (fct_rows r))
-        [ ("DCTCP", false); ("DCTCP+SS", true) ])
-    (match profile with
-    | Smoke -> [ (" no-incast", None) ]
-    | _ -> [ (" +incast", Some default_incast); (" no-incast", None) ]);
+  let combos =
+    List.concat_map
+      (fun (tag, incast) ->
+        List.map (fun v -> (tag, incast, v)) [ ("DCTCP", false); ("DCTCP+SS", true) ])
+      (match profile with
+      | Smoke -> [ (" no-incast", None) ]
+      | _ -> [ (" +incast", Some default_incast); (" no-incast", None) ])
+  in
+  let rows =
+    List.concat
+      (sweep
+         (List.map
+            (fun (tag, incast, (name, slow_start)) ->
+              pt ("fig23:" ^ name ^ tag) (fun () ->
+                  let s =
+                    { (std profile (Scheme.Dctcp { slow_start })) with sp_incast = incast }
+                  in
+                  let r = run_std s in
+                  List.map (fun row -> (name ^ tag) :: row) (fct_rows r)))
+            combos))
+  in
   [
     {
       title = "Fig 23: DCTCP line-rate start vs slow start (FB) — slowdown (p50 in col p50)";
       header = [ "scheme"; "bucket"; "n"; "avg"; "p50"; "p95"; "p99" ];
-      rows = !rows;
+      rows;
     };
   ]
 
@@ -290,42 +311,46 @@ let fig24 profile =
   let degrees =
     match profile with Smoke -> [ 20 ] | Quick -> [ 10; 100; 400; 800 ] | Paper -> [ 10; 100; 500; 2000 ]
   in
-  let rows = ref [] in
-  List.iter
-    (fun (name, scheme) ->
-      List.iter
-        (fun degree ->
-          let s =
-            { (std profile scheme) with sp_incast = Some { default_incast with degree } }
-          in
-          let r = run_std s in
-          let inc_stats =
-            let sample = Sample.create () in
-            List.iter
-              (fun f ->
-                if Flow.complete f && f.Flow.is_incast then Sample.add sample (Runner.slowdown r.env f))
-              r.flows;
-            if Sample.is_empty sample then nan else Sample.percentile sample 99.0
-          in
-          rows :=
-            [
-              name;
-              string_of_int degree;
-              cell (Metrics.long_avg r.env ~since:r.measure_from r.flows);
-              cell (Metrics.short_p99 r.env ~since:r.measure_from r.flows);
-              cell inc_stats;
-            ]
-            :: !rows)
-        degrees)
-    [
-      ("BFC + Flow FQ", Scheme.bfc);
-      ("BFC + IncastLabel", Scheme.Bfc { Scheme.bfc_default with Scheme.incast_label = true });
-    ];
+  let combos =
+    List.concat_map
+      (fun (name, scheme) -> List.map (fun d -> (name, scheme, d)) degrees)
+      [
+        ("BFC + Flow FQ", Scheme.bfc);
+        ("BFC + IncastLabel", Scheme.Bfc { Scheme.bfc_default with Scheme.incast_label = true });
+      ]
+  in
+  let rows =
+    sweep
+      (List.map
+         (fun (name, scheme, degree) ->
+           pt (Printf.sprintf "fig24:%s:%d" name degree) (fun () ->
+               let s =
+                 { (std profile scheme) with sp_incast = Some { default_incast with degree } }
+               in
+               let r = run_std s in
+               let inc_stats =
+                 let sample = Sample.create () in
+                 List.iter
+                   (fun f ->
+                     if Flow.complete f && f.Flow.is_incast then
+                       Sample.add sample (Runner.slowdown r.env f))
+                   r.flows;
+                 if Sample.is_empty sample then nan else Sample.percentile sample 99.0
+               in
+               [
+                 name;
+                 string_of_int degree;
+                 cell (Metrics.long_avg r.env ~since:r.measure_from r.flows);
+                 cell (Metrics.short_p99 r.env ~since:r.measure_from r.flows);
+                 cell inc_stats;
+               ]))
+         combos)
+  in
   [
     {
       title = "Fig 24: incast labelling (App A.7) vs incast degree (FB, 55%+5%)";
       header = [ "scheme"; "degree"; "long avg"; "short p99"; "incast p99" ];
-      rows = List.rev !rows;
+      rows;
     };
   ]
 
@@ -346,26 +371,28 @@ let fig25 profile =
       ("BFC + sampling", Scheme.Bfc { Scheme.bfc_default with Scheme.sampling = 0.5 });
     ]
   in
-  let rows = ref [] and summary = ref [] in
-  List.iter
-    (fun (name, scheme) ->
-      let s = { (std profile scheme) with sp_incast = Some default_incast } in
-      let r = run_std s in
-      rows := !rows @ List.map (fun row -> name :: row) (fct_rows r);
-      summary :=
-        [ name; cell (buffer_p99 r /. 1e6); string_of_int (Runner.total_drops r.env) ]
-        :: !summary)
-    schemes;
+  let results =
+    sweep
+      (List.map
+         (fun (name, scheme) ->
+           pt ("fig25:" ^ name) (fun () ->
+               let s = { (std profile scheme) with sp_incast = Some default_incast } in
+               let r = run_std s in
+               ( List.map (fun row -> name :: row) (fct_rows r),
+                 [ name; cell (buffer_p99 r /. 1e6); string_of_int (Runner.total_drops r.env) ]
+               )))
+         schemes)
+  in
   [
     {
       title = "Fig 25: incremental deployment (FB + incast) — FCT slowdown";
       header = [ "scheme"; "bucket"; "n"; "avg"; "p50"; "p95"; "p99" ];
-      rows = !rows;
+      rows = List.concat_map fst results;
     };
     {
       title = "Fig 25b: buffer & drops";
       header = [ "scheme"; "p99 buffer(MB)"; "drops" ];
-      rows = List.rev !summary;
+      rows = List.map snd results;
     };
   ]
 
@@ -379,8 +406,10 @@ let fig26 profile =
     | _ -> [ Scheme.bfc; Scheme.hpcc; Scheme.dcqcn ]
   in
   let rows =
-    List.map
-      (fun scheme ->
+    sweep
+      (List.map
+         (fun scheme ->
+           pt ("fig26:" ^ Scheme.name scheme) (fun () ->
         let sim = Sim.create () in
         (* the WAN must be a small fraction of the DC core (the paper: 200G
            vs a 3.2T core) or the cores, not the schemes, are the limit *)
@@ -438,8 +467,8 @@ let fig26 profile =
           cell (Metrics.short_p99 env ~since:(dur / 5) intra_flows);
           cell (Metrics.fct_overall env intra_flows).Metrics.p99;
           cell (util *. 100.0);
-        ])
-      schemes
+        ]))
+         schemes)
   in
   [
     {
@@ -453,44 +482,46 @@ let fig26 profile =
 (* Fig. 27: dynamic vs stochastic queue assignment.                     *)
 
 let fig27 profile =
-  let rows = ref [] and coll = ref [] in
-  List.iter
-    (fun (name, scheme) ->
-      let s = { (std profile scheme) with sp_incast = Some default_incast } in
-      let r = run_std s in
-      rows := !rows @ List.map (fun row -> name :: row) (fct_rows r);
-      let collisions, randoms, assigns =
-        Array.fold_left
-          (fun (c, ra, a) dp ->
-            let st = Dataplane.stats dp in
-            ( c + st.Dataplane.queue_collisions,
-              ra + st.Dataplane.random_assignments,
-              a + st.Dataplane.assignments ))
-          (0, 0, 0) (Runner.dataplanes r.env)
-      in
-      coll :=
-        [
-          name;
-          string_of_int assigns;
-          string_of_int collisions;
-          string_of_int randoms;
-        ]
-        :: !coll)
-    [
-      ("BFC + Dynamic", Scheme.bfc);
-      ( "BFC + Stochastic",
-        Scheme.Bfc { Scheme.bfc_default with Scheme.assignment = Bfc_core.Dqa.Stochastic } );
-    ];
+  let results =
+    sweep
+      (List.map
+         (fun (name, scheme) ->
+           pt ("fig27:" ^ name) (fun () ->
+               let s = { (std profile scheme) with sp_incast = Some default_incast } in
+               let r = run_std s in
+               let collisions, randoms, assigns =
+                 Array.fold_left
+                   (fun (c, ra, a) dp ->
+                     let st = Dataplane.stats dp in
+                     ( c + st.Dataplane.queue_collisions,
+                       ra + st.Dataplane.random_assignments,
+                       a + st.Dataplane.assignments ))
+                   (0, 0, 0) (Runner.dataplanes r.env)
+               in
+               ( List.map (fun row -> name :: row) (fct_rows r),
+                 [
+                   name;
+                   string_of_int assigns;
+                   string_of_int collisions;
+                   string_of_int randoms;
+                 ] )))
+         [
+           ("BFC + Dynamic", Scheme.bfc);
+           ( "BFC + Stochastic",
+             Scheme.Bfc { Scheme.bfc_default with Scheme.assignment = Bfc_core.Dqa.Stochastic }
+           );
+         ])
+  in
   [
     {
       title = "Fig 27: dynamic vs stochastic queue assignment (FB + incast) — slowdown";
       header = [ "scheme"; "bucket"; "n"; "avg"; "p50"; "p95"; "p99" ];
-      rows = !rows;
+      rows = List.concat_map fst results;
     };
     {
       title = "Fig 27b: queue collisions";
       header = [ "scheme"; "assignments"; "collisions"; "forced-random" ];
-      rows = List.rev !coll;
+      rows = List.map snd results;
     };
   ]
 
@@ -500,18 +531,20 @@ let fig27 profile =
 let fig28 profile =
   let mults = match profile with Smoke -> [ 100 ] | _ -> [ 10; 25; 50; 100; 400 ] in
   let rows =
-    List.map
-      (fun table_mult ->
-        let scheme = Scheme.Bfc { Scheme.bfc_default with Scheme.table_mult } in
-        let s = { (std profile scheme) with sp_incast = Some default_incast } in
-        let r = run_std s in
-        [
-          Printf.sprintf "%dx" table_mult;
-          cell (Metrics.short_p99 r.env ~since:r.measure_from r.flows);
-          cell (Metrics.fct_overall r.env r.flows).Metrics.p99;
-          cell (Metrics.long_avg r.env ~since:r.measure_from r.flows);
-        ])
-      mults
+    sweep
+      (List.map
+         (fun table_mult ->
+           pt (Printf.sprintf "fig28:%d" table_mult) (fun () ->
+               let scheme = Scheme.Bfc { Scheme.bfc_default with Scheme.table_mult } in
+               let s = { (std profile scheme) with sp_incast = Some default_incast } in
+               let r = run_std s in
+               [
+                 Printf.sprintf "%dx" table_mult;
+                 cell (Metrics.short_p99 r.env ~since:r.measure_from r.flows);
+                 cell (Metrics.fct_overall r.env r.flows).Metrics.p99;
+                 cell (Metrics.long_avg r.env ~since:r.measure_from r.flows);
+               ]))
+         mults)
   in
   [
     {
@@ -527,8 +560,10 @@ let fig28 profile =
 let lossless profile =
   let degree = match profile with Smoke -> 50 | Quick -> 800 | Paper -> 2000 in
   let rows =
-    List.map
-      (fun (name, scheme) ->
+    sweep
+      (List.map
+         (fun (name, scheme) ->
+           pt ("lossless:" ^ name) (fun () ->
         let s =
           {
             (std profile scheme) with
@@ -551,11 +586,11 @@ let lossless profile =
           cell (Sample.max r.buffers /. 1e6);
           cell (Metrics.short_p99 r.env ~since:r.measure_from r.flows);
           Printf.sprintf "%d/%d" (Runner.completed r.env) (Runner.injected r.env);
-        ])
-      [
-        ("BFC (12MB buffer)", Scheme.bfc);
-        ("BFC-credit (lossless)", Scheme.bfc_credit);
-      ]
+        ]))
+         [
+           ("BFC (12MB buffer)", Scheme.bfc);
+           ("BFC-credit (lossless)", Scheme.bfc_credit);
+         ])
   in
   [
     {
@@ -668,11 +703,14 @@ let idempotent profile =
     ]
   in
   let rows =
-    [
-      run "no loss" ~loss:0.0 ~bitmap:false;
-      run "20% ctrl loss, no refresh" ~loss:0.2 ~bitmap:false;
-      run "20% ctrl loss + bitmap refresh" ~loss:0.2 ~bitmap:true;
-    ]
+    sweep
+      [
+        pt "idempotent:none" (fun () -> run "no loss" ~loss:0.0 ~bitmap:false);
+        pt "idempotent:loss" (fun () ->
+            run "20% ctrl loss, no refresh" ~loss:0.2 ~bitmap:false);
+        pt "idempotent:loss+bitmap" (fun () ->
+            run "20% ctrl loss + bitmap refresh" ~loss:0.2 ~bitmap:true);
+      ]
   in
   [
     {
@@ -749,7 +787,12 @@ let deadlock_sim _profile =
       title =
         "App B live: cyclic flows on a 5-switch ring (5MB each) — deadlock and its prevention";
       header = [ "config"; "completed"; "stranded pause counts"; "drops" ];
-      rows = [ run ~filter:false; run ~filter:true ];
+      rows =
+        sweep
+          [
+            pt "deadlock:none" (fun () -> run ~filter:false);
+            pt "deadlock:filter" (fun () -> run ~filter:true);
+          ];
     };
   ]
 

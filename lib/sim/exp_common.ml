@@ -95,7 +95,6 @@ let run_std s =
   let sim = Sim.create () in
   let spines, tors, hosts_per_tor = clos_scale s.sp_profile in
   let cl = Topology.clos sim ~spines ~tors ~hosts_per_tor ~gbps:100.0 ~prop:(Time.us 1.0) in
-  Runner.homa_dist := s.sp_dist;
   let params =
     s.sp_params
       {
@@ -103,6 +102,7 @@ let run_std s =
         track_active_flows = s.sp_track_active;
         classes = s.sp_classes;
         seed = s.sp_seed;
+        homa_dist = s.sp_dist;
       }
   in
   let env = Runner.setup ~topo:cl.Topology.t ~scheme:s.sp_scheme ~params in
@@ -172,6 +172,21 @@ let run_std s =
   Runner.drain env ~budget:(8 * dur);
   let measure_from = dur / 10 in
   { env; flows; buffers; active; measure_from }
+
+(* ------------------------------------------------------------------ *)
+(* Sweep points: experiments describe themselves as an explicit list of
+   independent (key, thunk) pairs instead of an internal loop, so the
+   domain pool can run them concurrently. Results come back in point
+   order, so tables are byte-identical at any job count. *)
+
+type 'a sweep_point = { pt_key : string; pt_run : unit -> 'a }
+
+let pt pt_key pt_run = { pt_key; pt_run }
+
+let sweep points = Pool.run (List.map (fun p -> p.pt_run) points)
+
+let sweep_tagged points =
+  List.combine (List.map (fun p -> p.pt_key) points) (sweep points)
 
 let fct_rows r =
   let stats = Metrics.fct_table r.env ~since:r.measure_from r.flows in

@@ -16,208 +16,236 @@ let srf_schemes profile =
   | Smoke -> [ Scheme.homa; Scheme.bfc_srf ]
   | _ -> [ Scheme.homa; Scheme.homa_ecmp; Scheme.bfc_srf; Scheme.Ideal_srf ]
 
-let fig17 profile =
-  let tables = ref [] in
-  List.iter
+let dists = [ Dist.google; Dist.fb_hadoop ]
+
+(* dist x scheme sweeps regroup their flat result list back into one table
+   per dist; comparing by name keeps the grouping independent of physical
+   identity. *)
+let group_by_dist combos results =
+  List.map
     (fun dist ->
-      let rows = ref [] in
-      List.iter
-        (fun scheme ->
-          let s = { (std profile scheme) with sp_dist = dist } in
-          let r = run_std s in
-          rows := !rows @ List.map (fun row -> Scheme.name scheme :: row) (fct_rows r))
-        (srf_schemes profile);
-      tables :=
-        !tables
-        @ [
-            {
-              title =
-                Printf.sprintf "Fig 17: %s, 60%% load, SRF schemes — FCT slowdown"
-                  (Dist.name dist);
-              header = [ "scheme"; "bucket"; "n"; "avg"; "p50"; "p95"; "p99" ];
-              rows = !rows;
-            };
-          ])
-    [ Dist.google; Dist.fb_hadoop ];
-  !tables
+      ( dist,
+        List.concat_map
+          (fun ((d, _), rows) -> if Dist.name d = Dist.name dist then rows else [])
+          (List.combine combos results) ))
+    dists
+
+let fig17 profile =
+  let combos =
+    List.concat_map (fun d -> List.map (fun s -> (d, s)) (srf_schemes profile)) dists
+  in
+  let results =
+    sweep
+      (List.map
+         (fun (dist, scheme) ->
+           pt
+             (Printf.sprintf "fig17:%s:%s" (Dist.name dist) (Scheme.name scheme))
+             (fun () ->
+               let r = run_std { (std profile scheme) with sp_dist = dist } in
+               List.map (fun row -> Scheme.name scheme :: row) (fct_rows r)))
+         combos)
+  in
+  List.map
+    (fun (dist, rows) ->
+      {
+        title =
+          Printf.sprintf "Fig 17: %s, 60%% load, SRF schemes — FCT slowdown" (Dist.name dist);
+        header = [ "scheme"; "bucket"; "n"; "avg"; "p50"; "p95"; "p99" ];
+        rows;
+      })
+    (group_by_dist combos results)
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: scheduled-traffic queuing delay in the core.                *)
 
+let table2_point profile scheme () =
+  let sim = Sim.create () in
+  let spines, tors, hosts_per_tor = clos_scale profile in
+  let cl = Topology.clos sim ~spines ~tors ~hosts_per_tor ~gbps:100.0 ~prop:(Time.us 1.0) in
+  let env =
+    Runner.setup ~topo:cl.Topology.t ~scheme
+      ~params:{ Runner.default_params with homa_dist = Dist.fb_hadoop }
+  in
+  let bdp = Runner.bdp env in
+  let prms =
+    Bfc_transport.Homa.params_for ~dist:Dist.fb_hadoop ~total_prios:32 ~rtt_bytes:bdp
+      ~spray:true
+  in
+  let unsched = prms.Bfc_transport.Homa.unsched_prios in
+  let spine_set = Array.to_list cl.Topology.spines in
+  let tor_set = Array.to_list cl.Topology.tors in
+  let is_spine n = List.mem n spine_set and is_tor n = List.mem n tor_set in
+  (* taps for the two directions, scheduled packets only *)
+  let agg_tor = Sample.create () and tor_agg = Sample.create () in
+  Array.iter
+    (fun sw ->
+      let hk = Switch.hooks sw in
+      let prev = hk.Switch.on_pkt_departed in
+      hk.Switch.on_pkt_departed <-
+        (fun sw ~egress pkt ~delay ->
+          prev sw ~egress pkt ~delay;
+          if pkt.Packet.kind = Packet.Data && pkt.Packet.prio >= unsched then begin
+            let me = Switch.node_id sw in
+            let peer = (Bfc_net.Port.peer (Switch.port sw egress)).Bfc_net.Node.id in
+            if is_spine me && is_tor peer then
+              Sample.add agg_tor (float_of_int delay /. 1000.0)
+            else if is_tor me && is_spine peer then
+              Sample.add tor_agg (float_of_int delay /. 1000.0)
+          end))
+    (Runner.switches env);
+  let dur = duration profile ~dist:Dist.fb_hadoop in
+  let spec =
+    {
+      Traffic.hosts = cl.Topology.cl_hosts;
+      dist = Dist.fb_hadoop;
+      arrivals = Arrivals.lognormal_default;
+      load = 0.6;
+      ref_capacity_gbps = float_of_int (spines * tors) *. 100.0;
+      core_fraction =
+        1.0
+        -. float_of_int (hosts_per_tor - 1)
+           /. float_of_int ((tors * hosts_per_tor) - 1);
+      matrix = Traffic.Uniform;
+      duration = dur;
+      seed = 2;
+      prio_classes = 1;
+    }
+  in
+  let ids = ref 0 in
+  Runner.inject env (Traffic.generate spec ~ids);
+  Runner.run env ~until:dur;
+  Runner.drain env ~budget:(4 * dur);
+  let v s p = if Sample.is_empty s then nan else Sample.percentile s p in
+  [
+    [ Scheme.name scheme; "Agg-ToR"; cell (v agg_tor 95.0); cell (v agg_tor 99.0) ];
+    [ Scheme.name scheme; "ToR-Agg"; cell (v tor_agg 95.0); cell (v tor_agg 99.0) ];
+  ]
+
 let table2 profile =
-  let rows = ref [] in
-  List.iter
-    (fun scheme ->
-      let sim = Sim.create () in
-      let spines, tors, hosts_per_tor = clos_scale profile in
-      let cl = Topology.clos sim ~spines ~tors ~hosts_per_tor ~gbps:100.0 ~prop:(Time.us 1.0) in
-      Runner.homa_dist := Dist.fb_hadoop;
-      let env = Runner.setup ~topo:cl.Topology.t ~scheme ~params:Runner.default_params in
-      let bdp = Runner.bdp env in
-      let prms =
-        Bfc_transport.Homa.params_for ~dist:Dist.fb_hadoop ~total_prios:32 ~rtt_bytes:bdp
-          ~spray:true
-      in
-      let unsched = prms.Bfc_transport.Homa.unsched_prios in
-      let spine_set = Array.to_list cl.Topology.spines in
-      let tor_set = Array.to_list cl.Topology.tors in
-      let is_spine n = List.mem n spine_set and is_tor n = List.mem n tor_set in
-      (* taps for the two directions, scheduled packets only *)
-      let agg_tor = Sample.create () and tor_agg = Sample.create () in
-      Array.iter
-        (fun sw ->
-          let hk = Switch.hooks sw in
-          let prev = hk.Switch.on_pkt_departed in
-          hk.Switch.on_pkt_departed <-
-            (fun sw ~egress pkt ~delay ->
-              prev sw ~egress pkt ~delay;
-              if pkt.Packet.kind = Packet.Data && pkt.Packet.prio >= unsched then begin
-                let me = Switch.node_id sw in
-                let peer = (Bfc_net.Port.peer (Switch.port sw egress)).Bfc_net.Node.id in
-                if is_spine me && is_tor peer then
-                  Sample.add agg_tor (float_of_int delay /. 1000.0)
-                else if is_tor me && is_spine peer then
-                  Sample.add tor_agg (float_of_int delay /. 1000.0)
-              end))
-        (Runner.switches env);
-      let dur = duration profile ~dist:Dist.fb_hadoop in
-      let spec =
-        {
-          Traffic.hosts = cl.Topology.cl_hosts;
-          dist = Dist.fb_hadoop;
-          arrivals = Arrivals.lognormal_default;
-          load = 0.6;
-          ref_capacity_gbps = float_of_int (spines * tors) *. 100.0;
-          core_fraction =
-            1.0
-            -. float_of_int (hosts_per_tor - 1)
-               /. float_of_int ((tors * hosts_per_tor) - 1);
-          matrix = Traffic.Uniform;
-          duration = dur;
-          seed = 2;
-          prio_classes = 1;
-        }
-      in
-      let ids = ref 0 in
-      Runner.inject env (Traffic.generate spec ~ids);
-      Runner.run env ~until:dur;
-      Runner.drain env ~budget:(4 * dur);
-      let v s p = if Sample.is_empty s then nan else Sample.percentile s p in
-      rows :=
-        !rows
-        @ [
-            [ Scheme.name scheme; "Agg-ToR"; cell (v agg_tor 95.0); cell (v agg_tor 99.0) ];
-            [ Scheme.name scheme; "ToR-Agg"; cell (v tor_agg 95.0); cell (v tor_agg 99.0) ];
-          ])
-    [ Scheme.homa; Scheme.homa_ecmp ];
+  let rows =
+    List.concat
+      (sweep
+         (List.map
+            (fun scheme ->
+              pt
+                (Printf.sprintf "table2:%s" (Scheme.name scheme))
+                (table2_point profile scheme))
+            [ Scheme.homa; Scheme.homa_ecmp ]))
+  in
   [
     {
       title = "Table 2: per-packet queuing delay of scheduled traffic in the core (us)";
       header = [ "scheme"; "link"; "p95(us)"; "p99(us)" ];
-      rows = !rows;
+      rows;
     };
   ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 18: single receiver, senders in the same rack (SRF accuracy).   *)
 
-let fig18 profile =
-  let tables = ref [] in
-  List.iter
-    (fun dist ->
-      let rows = ref [] in
-      List.iter
-        (fun scheme ->
-          let sim = Sim.create () in
-          let spines, tors, hosts_per_tor = clos_scale profile in
-          let cl =
-            Topology.clos sim ~spines ~tors ~hosts_per_tor ~gbps:100.0 ~prop:(Time.us 1.0)
-          in
-          Runner.homa_dist := dist;
-          let env = Runner.setup ~topo:cl.Topology.t ~scheme ~params:Runner.default_params in
-          (* receiver = host 0; senders = rest of its rack *)
-          let recv = cl.Topology.cl_hosts.(0) in
-          let rack = Array.sub cl.Topology.cl_hosts 1 (hosts_per_tor - 1) in
-          let dur = 2 * duration profile ~dist in
-          let spec =
-            {
-              Traffic.hosts = rack;
-              dist;
-              arrivals = Arrivals.lognormal_default;
-              load = 0.6;
-              ref_capacity_gbps = 100.0;
-              core_fraction = 1.0;
-              matrix = Traffic.To_one recv;
-              duration = dur;
-              seed = 3;
-              prio_classes = 1;
-            }
-          in
-          let ids = ref 0 in
-          let flows = Traffic.generate spec ~ids in
-          Runner.inject env flows;
-          Runner.run env ~until:dur;
-          Runner.drain env ~budget:(4 * dur);
-          let stats = Metrics.fct_table env ~since:(dur / 10) flows in
-          List.iter
-            (fun (st : Metrics.fct_stats) ->
-              if st.Metrics.count > 0 then
-                rows :=
-                  !rows
-                  @ [
-                      [
-                        Scheme.name scheme;
-                        st.Metrics.bucket;
-                        string_of_int st.Metrics.count;
-                        cell st.Metrics.avg;
-                        cell st.Metrics.p99;
-                      ];
-                    ])
-            stats)
-        (match profile with
-        | Smoke -> [ Scheme.homa; Scheme.bfc_srf ]
-        | _ -> [ Scheme.homa; Scheme.bfc_srf; Scheme.Ideal_srf ]);
-      tables :=
-        !tables
-        @ [
-            {
-              title =
-                Printf.sprintf "Fig 18: %s, single in-rack receiver — SRF accuracy" (Dist.name dist);
-              header = [ "scheme"; "bucket"; "n"; "avg"; "p99" ];
-              rows = !rows;
-            };
+let fig18_point profile dist scheme () =
+  let sim = Sim.create () in
+  let spines, tors, hosts_per_tor = clos_scale profile in
+  let cl = Topology.clos sim ~spines ~tors ~hosts_per_tor ~gbps:100.0 ~prop:(Time.us 1.0) in
+  let env =
+    Runner.setup ~topo:cl.Topology.t ~scheme
+      ~params:{ Runner.default_params with homa_dist = dist }
+  in
+  (* receiver = host 0; senders = rest of its rack *)
+  let recv = cl.Topology.cl_hosts.(0) in
+  let rack = Array.sub cl.Topology.cl_hosts 1 (hosts_per_tor - 1) in
+  let dur = 2 * duration profile ~dist in
+  let spec =
+    {
+      Traffic.hosts = rack;
+      dist;
+      arrivals = Arrivals.lognormal_default;
+      load = 0.6;
+      ref_capacity_gbps = 100.0;
+      core_fraction = 1.0;
+      matrix = Traffic.To_one recv;
+      duration = dur;
+      seed = 3;
+      prio_classes = 1;
+    }
+  in
+  let ids = ref 0 in
+  let flows = Traffic.generate spec ~ids in
+  Runner.inject env flows;
+  Runner.run env ~until:dur;
+  Runner.drain env ~budget:(4 * dur);
+  let stats = Metrics.fct_table env ~since:(dur / 10) flows in
+  List.filter_map
+    (fun (st : Metrics.fct_stats) ->
+      if st.Metrics.count = 0 then None
+      else
+        Some
+          [
+            Scheme.name scheme;
+            st.Metrics.bucket;
+            string_of_int st.Metrics.count;
+            cell st.Metrics.avg;
+            cell st.Metrics.p99;
           ])
-    [ Dist.google; Dist.fb_hadoop ];
-  !tables
+    stats
+
+let fig18 profile =
+  let schemes =
+    match profile with
+    | Smoke -> [ Scheme.homa; Scheme.bfc_srf ]
+    | _ -> [ Scheme.homa; Scheme.bfc_srf; Scheme.Ideal_srf ]
+  in
+  let combos = List.concat_map (fun d -> List.map (fun s -> (d, s)) schemes) dists in
+  let results =
+    sweep
+      (List.map
+         (fun (dist, scheme) ->
+           pt
+             (Printf.sprintf "fig18:%s:%s" (Dist.name dist) (Scheme.name scheme))
+             (fig18_point profile dist scheme))
+         combos)
+  in
+  List.map
+    (fun (dist, rows) ->
+      {
+        title =
+          Printf.sprintf "Fig 18: %s, single in-rack receiver — SRF accuracy" (Dist.name dist);
+        header = [ "scheme"; "bucket"; "n"; "avg"; "p99" ];
+        rows;
+      })
+    (group_by_dist combos results)
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 19: priority inversions under incast.                           *)
 
 let fig19 profile =
-  let tables = ref [] in
-  List.iter
-    (fun dist ->
-      let rows = ref [] in
-      List.iter
-        (fun scheme ->
-          let s =
-            { (std profile scheme) with sp_dist = dist; sp_incast = Some default_incast }
-          in
-          let r = run_std s in
-          rows := !rows @ List.map (fun row -> Scheme.name scheme :: row) (fct_rows r))
-        (match profile with
-        | Smoke -> [ Scheme.bfc_srf ]
-        | _ -> [ Scheme.homa; Scheme.bfc_srf; Scheme.bfc ]);
-      tables :=
-        !tables
-        @ [
-            {
-              title =
-                Printf.sprintf "Fig 19: %s, 55%% + 5%% 100:1 incast — SRF under collisions"
-                  (Dist.name dist);
-              header = [ "scheme"; "bucket"; "n"; "avg"; "p50"; "p95"; "p99" ];
-              rows = !rows;
-            };
-          ])
-    [ Dist.google; Dist.fb_hadoop ];
-  !tables
+  let schemes =
+    match profile with
+    | Smoke -> [ Scheme.bfc_srf ]
+    | _ -> [ Scheme.homa; Scheme.bfc_srf; Scheme.bfc ]
+  in
+  let combos = List.concat_map (fun d -> List.map (fun s -> (d, s)) schemes) dists in
+  let results =
+    sweep
+      (List.map
+         (fun (dist, scheme) ->
+           pt
+             (Printf.sprintf "fig19:%s:%s" (Dist.name dist) (Scheme.name scheme))
+             (fun () ->
+               let r =
+                 run_std
+                   { (std profile scheme) with sp_dist = dist; sp_incast = Some default_incast }
+               in
+               List.map (fun row -> Scheme.name scheme :: row) (fct_rows r)))
+         combos)
+  in
+  List.map
+    (fun (dist, rows) ->
+      {
+        title =
+          Printf.sprintf "Fig 19: %s, 55%% + 5%% 100:1 incast — SRF under collisions"
+            (Dist.name dist);
+        header = [ "scheme"; "bucket"; "n"; "avg"; "p50"; "p95"; "p99" ];
+        rows;
+      })
+    (group_by_dist combos results)

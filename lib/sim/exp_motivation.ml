@@ -159,23 +159,32 @@ let fig3 profile =
     (* ns *)
   in
   let intervals = [ 8e3; 32e3; 128e3; 512e3 ] in
-  let rows = ref [] in
-  List.iter
-    (fun dist ->
-      List.iter
-        (fun gbps ->
-          let trace = ps_trace ~dist ~gbps ~load:0.6 ~duration ~seed:11 in
-          let cells =
-            List.map (fun i -> cell (fair_share_change trace ~duration ~interval:i)) intervals
-          in
-          rows := (Dist.name dist :: Printf.sprintf "%gG" gbps :: cells) :: !rows)
-        [ 10.0; 40.0; 100.0 ])
-    [ Dist.google; Dist.fb_hadoop; Dist.websearch ];
+  let combos =
+    List.concat_map
+      (fun dist -> List.map (fun gbps -> (dist, gbps)) [ 10.0; 40.0; 100.0 ])
+      [ Dist.google; Dist.fb_hadoop; Dist.websearch ]
+  in
+  let rows =
+    sweep
+      (List.map
+         (fun (dist, gbps) ->
+           pt
+             (Printf.sprintf "fig3:%s:%g" (Dist.name dist) gbps)
+             (fun () ->
+               let trace = ps_trace ~dist ~gbps ~load:0.6 ~duration ~seed:11 in
+               let cells =
+                 List.map
+                   (fun i -> cell (fair_share_change trace ~duration ~interval:i))
+                   intervals
+               in
+               Dist.name dist :: Printf.sprintf "%gG" gbps :: cells))
+         combos)
+  in
   [
     {
       title = "Fig 3: mean % change in fair-share rate vs measurement interval (60% load)";
       header = [ "workload"; "link"; "8us"; "32us"; "128us"; "512us" ];
-      rows = List.rev !rows;
+      rows;
     };
   ]
 
@@ -236,26 +245,30 @@ let fig4 profile =
   let pct sample p = if Sample.is_empty sample then nan else Sample.percentile sample p in
   (* (a) FQ across loads and link speeds *)
   let loads = [ 0.5; 0.7; 0.85; 0.95 ] in
-  let rows_a = ref [] in
-  List.iter
-    (fun gbps ->
-      List.iter
-        (fun load ->
-          let s = active_flow_run ~profile ~scheme:Scheme.Ideal_fq ~gbps ~load ~seed:3 in
-          rows_a :=
-            [
-              Printf.sprintf "%gG" gbps;
-              cell load;
-              cell (Sample.mean s);
-              cell (pct s 50.0);
-              cell (pct s 90.0);
-              cell (pct s 99.0);
-            ]
-            :: !rows_a)
-        loads)
-    (match profile with Smoke -> [ 100.0 ] | _ -> [ 10.0; 40.0; 100.0 ]);
+  let combos_a =
+    List.concat_map
+      (fun gbps -> List.map (fun load -> (gbps, load)) loads)
+      (match profile with Smoke -> [ 100.0 ] | _ -> [ 10.0; 40.0; 100.0 ])
+  in
+  let rows_a =
+    sweep
+      (List.map
+         (fun (gbps, load) ->
+           pt
+             (Printf.sprintf "fig4a:%g:%g" gbps load)
+             (fun () ->
+               let s = active_flow_run ~profile ~scheme:Scheme.Ideal_fq ~gbps ~load ~seed:3 in
+               [
+                 Printf.sprintf "%gG" gbps;
+                 cell load;
+                 cell (Sample.mean s);
+                 cell (pct s 50.0);
+                 cell (pct s 90.0);
+                 cell (pct s 99.0);
+               ]))
+         combos_a)
+  in
   (* (b) scheduling policy at 100G, 60/85% *)
-  let rows_b = ref [] in
   let fifo_scheme =
     Scheme.Bfc
       {
@@ -265,26 +278,39 @@ let fig4 profile =
         window_cap = Some 1.0;
       }
   in
-  List.iter
-    (fun (name, scheme) ->
-      List.iter
-        (fun load ->
-          let s = active_flow_run ~profile ~scheme ~gbps:100.0 ~load ~seed:3 in
-          rows_b :=
-            [ name; cell load; cell (Sample.mean s); cell (pct s 50.0); cell (pct s 90.0); cell (pct s 99.0) ]
-            :: !rows_b)
-        [ 0.6; 0.85 ])
-    [ ("FQ", Scheme.Ideal_fq); ("SRF", Scheme.Ideal_srf); ("FIFO", fifo_scheme) ];
+  let combos_b =
+    List.concat_map
+      (fun (name, scheme) -> List.map (fun load -> (name, scheme, load)) [ 0.6; 0.85 ])
+      [ ("FQ", Scheme.Ideal_fq); ("SRF", Scheme.Ideal_srf); ("FIFO", fifo_scheme) ]
+  in
+  let rows_b =
+    sweep
+      (List.map
+         (fun (name, scheme, load) ->
+           pt
+             (Printf.sprintf "fig4b:%s:%g" name load)
+             (fun () ->
+               let s = active_flow_run ~profile ~scheme ~gbps:100.0 ~load ~seed:3 in
+               [
+                 name;
+                 cell load;
+                 cell (Sample.mean s);
+                 cell (pct s 50.0);
+                 cell (pct s 90.0);
+                 cell (pct s 99.0);
+               ]))
+         combos_b)
+  in
   [
     {
       title = "Fig 4a: active flows at the bottleneck (fair queuing; Tofino2 has 32 queues/100G port)";
       header = [ "link"; "load"; "mean"; "p50"; "p90"; "p99" ];
-      rows = List.rev !rows_a;
+      rows = rows_a;
     };
     {
       title = "Fig 4b: active flows vs scheduling policy (100G)";
       header = [ "policy"; "load"; "mean"; "p50"; "p90"; "p99" ];
-      rows = List.rev !rows_b;
+      rows = rows_b;
     };
   ]
 
@@ -294,8 +320,10 @@ let fig4 profile =
 let table1 profile =
   let schemes = [ Scheme.bfc; Scheme.hpcc; Scheme.dcqcn ] in
   let rows =
-    List.map
-      (fun scheme ->
+    sweep
+      (List.map
+         (fun scheme ->
+           pt ("table1:" ^ Scheme.name scheme) (fun () ->
         let sim = Sim.create () in
         let senders = 16 in
         let st = Topology.star sim ~senders ~gbps:100.0 ~prop:(Time.us 1.0) in
@@ -351,8 +379,8 @@ let table1 profile =
           float_of_int lf.Flow.delivered /. (100.0 /. 8.0 *. float_of_int duration) *. 100.0
         in
         let p99 = if Sample.is_empty delays then nan else Sample.percentile delays 99.0 in
-        [ Scheme.name scheme; cell tput; cell p99 ])
-      schemes
+        [ Scheme.name scheme; cell tput; cell p99 ]))
+         schemes)
   in
   [
     {
@@ -367,8 +395,10 @@ let table1 profile =
 
 let mg1 profile =
   let rows =
-    List.map
-      (fun rho ->
+    sweep
+      (List.map
+         (fun rho ->
+           pt (Printf.sprintf "mg1:%g" rho) (fun () ->
         let sim = Sim.create () in
         let st = Topology.star sim ~senders:16 ~gbps:100.0 ~prop:(Time.us 1.0) in
         let params = { Runner.default_params with track_active_flows = true } in
@@ -412,8 +442,8 @@ let mg1 profile =
           cell (Sample.mean sample);
           string_of_int (Bfc_core.Active_flows.quantile ~rho ~p:0.99);
           cell (Sample.percentile sample 99.0);
-        ])
-      [ 0.5; 0.7; 0.8; 0.9 ]
+        ]))
+         [ 0.5; 0.7; 0.8; 0.9 ])
   in
   [
     {

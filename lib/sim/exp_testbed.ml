@@ -29,8 +29,10 @@ let fig7 profile =
   (* thresholds in us of drain time at 100G (12.5 KB/us) *)
   let ths_us = [ 0.25; 0.5; 1.0; 2.0; 4.0 ] in
   let rows =
-    List.map
-      (fun th_us ->
+    sweep
+      (List.map
+         (fun th_us ->
+           pt (Printf.sprintf "fig7:%g" th_us) (fun () ->
         let sim = Sim.create () in
         let tb = Topology.testbed sim ~g1:1 ~g2:1 ~g3:1 ~gbps:100.0 ~prop:(Time.us 1.0) in
         let fixed_th = int_of_float (th_us *. 12_500.0) in
@@ -70,8 +72,8 @@ let fig7 profile =
           cell (Sample.mean qlen /. 1000.0);
           cell (Sample.percentile qlen 99.0 /. 1000.0);
           cell ((1.0 -. util) *. 100.0);
-        ])
-      ths_us
+        ]))
+         ths_us)
   in
   [
     {
@@ -94,52 +96,60 @@ let fig8 profile =
       ("dynamic", Bfc_core.Dqa.Dynamic);
     ]
   in
-  let rows = ref [] in
-  List.iter
-    (fun (sname, assignment) ->
-      List.iter
-        (fun g2 ->
-          let fcts = Sample.create () in
-          for run = 1 to n_runs do
-            let sim = Sim.create () in
-            let tb = Topology.testbed sim ~g1:2 ~g2 ~g3:8 ~gbps:100.0 ~prop:(Time.us 1.0) in
-            let scheme =
-              Scheme.Bfc { Scheme.bfc_default with Scheme.queues = 16; assignment }
-            in
-            let params = { Runner.default_params with seed = run * 7 } in
-            let env = Runner.setup ~topo:tb.Topology.tb ~scheme ~params in
-            let ids = ref (run * 10_000) in
-            let size = 1_500_000 in
-            let mk src dst =
-              let id = !ids in
-              incr ids;
-              Flow.make ~id ~src ~dst ~size ~arrival:0 ()
-            in
-            let group1 = Array.to_list (Array.map (fun h -> mk h tb.Topology.recv1) tb.Topology.group1) in
-            let group2 = Array.to_list (Array.map (fun h -> mk h tb.Topology.recv2) tb.Topology.group2) in
-            let group3 = Array.to_list (Array.map (fun h -> mk h tb.Topology.recv2) tb.Topology.group3) in
-            Runner.inject env (group1 @ group2 @ group3);
-            Runner.run env ~until:(Time.ms 10.0);
-            Runner.drain env ~budget:(Time.ms 40.0);
-            List.iter
-              (fun f -> if Flow.complete f then Sample.add fcts (Time.to_us (Flow.fct f)))
-              group1
-          done;
-          rows :=
-            [
-              sname;
-              string_of_int g2;
-              cell (Sample.mean fcts);
-              cell (Sample.stddev fcts);
-            ]
-            :: !rows)
-        g2_counts)
-    strategies;
+  (* every (strategy, g2, run) triple is one independent sweep point
+     returning its group-1 FCTs; runs merge back per (strategy, g2) *)
+  let one_run assignment g2 run () =
+    let sim = Sim.create () in
+    let tb = Topology.testbed sim ~g1:2 ~g2 ~g3:8 ~gbps:100.0 ~prop:(Time.us 1.0) in
+    let scheme = Scheme.Bfc { Scheme.bfc_default with Scheme.queues = 16; assignment } in
+    let params = { Runner.default_params with seed = run * 7 } in
+    let env = Runner.setup ~topo:tb.Topology.tb ~scheme ~params in
+    let ids = ref (run * 10_000) in
+    let size = 1_500_000 in
+    let mk src dst =
+      let id = !ids in
+      incr ids;
+      Flow.make ~id ~src ~dst ~size ~arrival:0 ()
+    in
+    let group1 = Array.to_list (Array.map (fun h -> mk h tb.Topology.recv1) tb.Topology.group1) in
+    let group2 = Array.to_list (Array.map (fun h -> mk h tb.Topology.recv2) tb.Topology.group2) in
+    let group3 = Array.to_list (Array.map (fun h -> mk h tb.Topology.recv2) tb.Topology.group3) in
+    Runner.inject env (group1 @ group2 @ group3);
+    Runner.run env ~until:(Time.ms 10.0);
+    Runner.drain env ~budget:(Time.ms 40.0);
+    List.filter_map
+      (fun f -> if Flow.complete f then Some (Time.to_us (Flow.fct f)) else None)
+      group1
+  in
+  let combos =
+    List.concat_map
+      (fun (sname, assignment) ->
+        List.map (fun g2 -> (sname, assignment, g2)) g2_counts)
+      strategies
+  in
+  let points =
+    List.concat_map
+      (fun (sname, assignment, g2) ->
+        List.init n_runs (fun i ->
+            pt (Printf.sprintf "fig8:%s:%d:%d" sname g2 (i + 1)) (one_run assignment g2 (i + 1))))
+      combos
+  in
+  let per_run = Array.of_list (sweep points) in
+  let rows =
+    List.mapi
+      (fun ci (sname, _, g2) ->
+        let fcts = Sample.create () in
+        for i = 0 to n_runs - 1 do
+          List.iter (Sample.add fcts) per_run.((ci * n_runs) + i)
+        done;
+        [ sname; string_of_int g2; cell (Sample.mean fcts); cell (Sample.stddev fcts) ])
+      combos
+  in
   [
     {
       title =
         "Fig 8: group-1 victim FCT under congestion spreading (1.5MB flows; 16 queues/port)";
       header = [ "assignment"; "#group2 flows"; "avg FCT(us)"; "stddev(us)" ];
-      rows = List.rev !rows;
+      rows;
     };
   ]

@@ -67,3 +67,10 @@ let run_and_print ?csv_dir profile t =
       tables
   | None -> ());
   Printf.printf "[%s done in %.1fs]\n%!" t.t_name (Bfc_util.Clock.elapsed_s ~since:t0)
+
+let run_parallel ?csv_dir ~jobs profile t =
+  let prev = Pool.default_jobs () in
+  Pool.set_default_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs prev)
+    (fun () -> run_and_print ?csv_dir profile t)

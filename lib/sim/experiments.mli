@@ -17,3 +17,9 @@ val names : unit -> string list
 (** Run one target and print its tables, with wall-clock timing; also
     write each table as CSV into [csv_dir] when given. *)
 val run_and_print : ?csv_dir:string -> Exp_common.profile -> target -> unit
+
+(** Like {!run_and_print} but with the ambient {!Pool} job count set to
+    [jobs] for the duration of the run: every sweep inside the target fans
+    out over that many domains. Tables (and CSVs) are byte-identical to a
+    sequential run — only wall-clock time changes. *)
+val run_parallel : ?csv_dir:string -> jobs:int -> Exp_common.profile -> target -> unit

@@ -22,6 +22,7 @@ type params = {
   classes : int;
   pause_watchdog : Time.t option;
   seed : int;
+  homa_dist : Bfc_workload.Dist.t;
 }
 
 let default_params =
@@ -37,6 +38,7 @@ let default_params =
     classes = 1;
     pause_watchdog = None;
     seed = 42;
+    homa_dist = Bfc_workload.Dist.google;
   }
 
 type env = {
@@ -44,6 +46,7 @@ type env = {
   topo : Topology.t;
   scheme : Scheme.t;
   params : params;
+  pool : Packet.Pool.t;
   hosts : Host.t option array;
   switches : Switch.t array;
   dataplanes : Dataplane.t array;
@@ -78,6 +81,10 @@ let host env i =
 let injected env = env.injected
 
 let completed env = env.completed
+
+let pool env = env.pool
+
+let events_executed env = Sim.executed_events env.sim
 
 (* ------------------------------------------------------------------ *)
 
@@ -297,12 +304,12 @@ let host_config (s : Scheme.t) (p : params) ~base_rtt ~bdp ~line_gbps : Host.con
     in
     { base with scheme = Host.Homa prms; nic_policy = Sched.Prio_strict }
 
-(* Overridable Homa workload distribution: stored here so experiments can
-   set it before calling setup. *)
-let homa_dist = ref Bfc_workload.Dist.google
-
 let setup ~topo ~scheme ~params:p =
   let sim = Topology.sim topo in
+  (* One free-list pool per environment: every switch and host draws from
+     (and recycles into) it, so the steady-state hot path allocates no
+     packets. Pools never cross environments, hence never cross domains. *)
+  let pool = Packet.Pool.create ~sim in
   let nodes = Topology.nodes topo in
   let base_rtt = compute_base_rtt topo in
   (* line rate of host uplinks *)
@@ -342,7 +349,7 @@ let setup ~topo ~scheme ~params:p =
     match (scheme, c.Host.scheme) with
     | Scheme.Homa { spray }, Host.Homa _ ->
       let prms =
-        Bfc_transport.Homa.params_for ~dist:!homa_dist ~total_prios:32 ~rtt_bytes:bdp ~spray
+        Bfc_transport.Homa.params_for ~dist:p.homa_dist ~total_prios:32 ~rtt_bytes:bdp ~spray
       in
       { c with Host.scheme = Host.Homa prms }
     | _ -> c
@@ -354,7 +361,9 @@ let setup ~topo ~scheme ~params:p =
       | Node.Switch ->
         let sw =
           Switch.create ~sim ~node:nd ~ports:(Topology.ports topo nd.Node.id) ~config:swcfg
+            ~pool
             ~route:(fun sw ~in_port pkt -> route sw ~in_port pkt)
+            ()
         in
         (match dpcfg with
         | Some c ->
@@ -399,7 +408,7 @@ let setup ~topo ~scheme ~params:p =
         switches := sw :: !switches
       | Node.Host ->
         let port = (Topology.ports topo nd.Node.id).(0) in
-        let h = Host.create ~sim ~node:nd ~port ~config:hostcfg in
+        let h = Host.create ~sim ~node:nd ~port ~config:hostcfg ~pool () in
         hosts.(nd.Node.id) <- Some h)
     nodes;
   let env =
@@ -408,6 +417,7 @@ let setup ~topo ~scheme ~params:p =
       topo;
       scheme;
       params = p;
+      pool;
       hosts;
       switches = Array.of_list (List.rev !switches);
       dataplanes = Array.of_list (List.rev !dataplanes);

@@ -19,15 +19,15 @@ type params = {
           paused longer than this is force-resumed (lost-Resume recovery).
           [None] (the default) disables it. *)
   seed : int;
+  homa_dist : Bfc_workload.Dist.t;
+      (** workload distribution used to derive Homa's priority cutoffs; a
+          [params] field (not a global) so concurrent sweeps on separate
+          domains cannot race on it *)
 }
 
 val default_params : params
 
 type env
-
-(** Workload distribution used to derive Homa's priority cutoffs; set this
-    before [setup] when running Homa on a non-Google workload. *)
-val homa_dist : Bfc_workload.Dist.t ref
 
 val setup : topo:Bfc_net.Topology.t -> scheme:Scheme.t -> params:params -> env
 
@@ -58,6 +58,13 @@ val inject : env -> Bfc_net.Flow.t list -> unit
 val injected : env -> int
 
 val completed : env -> int
+
+(** The environment's packet pool (diagnostics: recycle/alloc counters). *)
+val pool : env -> Bfc_net.Packet.Pool.t
+
+(** Events executed by this environment's simulator so far (macro
+    benchmark denominator). *)
+val events_executed : env -> int
 
 (** Run to an absolute simulation time. *)
 val run : env -> until:Bfc_engine.Time.t -> unit

@@ -26,5 +26,11 @@ let pop t =
 
 let peek t = Queue.peek_opt t.q
 
+(* Allocation-free head accessors for the scheduling hot path (peek returns
+   an option, i.e. one [Some] block per call). *)
+let peek_exn t = Queue.peek t.q
+
+let head_size t = if Queue.is_empty t.q then 0 else (Queue.peek t.q).Bfc_net.Packet.size
+
 let head_remaining t =
-  match Queue.peek_opt t.q with None -> max_int | Some p -> p.Bfc_net.Packet.remaining
+  if Queue.is_empty t.q then max_int else (Queue.peek t.q).Bfc_net.Packet.remaining

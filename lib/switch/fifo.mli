@@ -26,6 +26,13 @@ val pop : t -> Bfc_net.Packet.t
 
 val peek : t -> Bfc_net.Packet.t option
 
+(** Allocation-free [peek] for callers that know the queue is non-empty.
+    Raises [Queue.Empty] otherwise. *)
+val peek_exn : t -> Bfc_net.Packet.t
+
+(** Head packet's size in bytes; [0] when empty (used by credit gating). *)
+val head_size : t -> int
+
 (** Head packet's [remaining] header field; [max_int] when empty (used by
     SRF scheduling). *)
 val head_remaining : t -> int

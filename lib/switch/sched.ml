@@ -68,27 +68,28 @@ let next_drr t ring =
      twice per call because the quantum covers a full-size packet. *)
   let budget = ref ((2 * Queue.length ring) + 2) in
   let result = ref None in
-  while !result = None && (not (Queue.is_empty ring)) && !budget > 0 do
+  let searching = ref true in
+  while !searching && (not (Queue.is_empty ring)) && !budget > 0 do
     decr budget;
     let q = Queue.peek ring in
+    (* eligible implies non-empty, so the head peek cannot raise *)
     if not (eligible q) then ignore (evict_front ring)
     else begin
-      match Fifo.peek q with
-      | None -> ignore (evict_front ring)
-      | Some pkt ->
-        if q.Fifo.deficit >= pkt.Bfc_net.Packet.size then begin
-          ignore (Fifo.pop q);
-          q.Fifo.deficit <- q.Fifo.deficit - pkt.Bfc_net.Packet.size;
-          note_popped t q;
-          if Fifo.is_empty q then ignore (evict_front ring);
-          result := Some (q, pkt)
-        end
-        else begin
-          q.Fifo.deficit <- q.Fifo.deficit + t.quantum;
-          let q = evict_front ring in
-          q.Fifo.in_ring <- true;
-          Queue.add q ring
-        end
+      let pkt = Fifo.peek_exn q in
+      if q.Fifo.deficit >= pkt.Bfc_net.Packet.size then begin
+        ignore (Fifo.pop q);
+        q.Fifo.deficit <- q.Fifo.deficit - pkt.Bfc_net.Packet.size;
+        note_popped t q;
+        if Fifo.is_empty q then ignore (evict_front ring);
+        result := Some (q, pkt);
+        searching := false
+      end
+      else begin
+        q.Fifo.deficit <- q.Fifo.deficit + t.quantum;
+        let q = evict_front ring in
+        q.Fifo.in_ring <- true;
+        Queue.add q ring
+      end
     end
   done;
   !result

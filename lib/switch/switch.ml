@@ -55,6 +55,7 @@ type t = {
   sim : Sim.t;
   node : Node.t;
   cfg : config;
+  pool : Packet.Pool.t option;
   route : route_fn;
   egresses : egress array;
   buffer : Buffer.t;
@@ -108,6 +109,19 @@ let config t = t.cfg
 let node_id t = t.node.Node.id
 
 let sim t = t.sim
+
+let pool t = t.pool
+
+(* Return a consumed packet to the environment's pool, if one is attached.
+   Standalone switches (unit tests) run pool-less and let the GC collect. *)
+let recycle t pkt = match t.pool with Some p -> Packet.Pool.release p pkt | None -> ()
+
+let make_pfc t =
+  match t.pool with
+  | Some p ->
+    Packet.Pool.acquire p Packet.Pfc ~src:t.node.Node.id ~dst:(-1) ~size:Packet.ctrl_bytes ()
+  | None ->
+    Packet.make ~sim:t.sim Packet.Pfc ~src:t.node.Node.id ~dst:(-1) ~size:Packet.ctrl_bytes ()
 
 let n_ports t = Array.length t.egresses
 
@@ -177,46 +191,38 @@ let pfc_check_resume t in_port =
       if float_of_int (Buffer.ingress_used t.buffer in_port) < pfc.resume_frac *. threshold
       then begin
         t.pfc_sent.(in_port) <- false;
-        let pkt =
-          Packet.make Packet.Pfc ~src:t.node.Node.id ~dst:(-1) ~size:Packet.ctrl_bytes ()
-        in
+        let pkt = make_pfc t in
         pkt.Packet.ctrl_b <- 0;
         send_ctrl t ~egress:in_port pkt
       end
     end
 
 let try_send t e =
-  if (not (Port.busy e.eport)) && not e.epfc_paused then begin
-    match Sched.next e.esched with
-    | None -> ()
-    | Some (q, pkt) ->
-      e.ebytes <- e.ebytes - pkt.Packet.size;
-      let delay = Sim.now t.sim - pkt.Packet.enq_at in
-      pkt.Packet.q_delay <- pkt.Packet.q_delay + delay;
-      pkt.Packet.hop_cnt <- pkt.Packet.hop_cnt + 1;
-      Buffer.on_dequeue t.buffer ~in_port:pkt.Packet.bp_in_port ~size:pkt.Packet.size;
-      if pkt.Packet.bp_in_port >= 0 then pfc_check_resume t pkt.Packet.bp_in_port;
-      if t.cfg.track_active_flows then flow_track_remove e pkt;
-      t.hk.on_dequeue t ~egress:e.eidx ~queue:q.Fifo.idx pkt;
-      t.hk.on_pkt_departed t ~egress:e.eidx pkt ~delay;
-      if t.cfg.int_stamping && pkt.Packet.kind = Packet.Data then begin
-        let hop =
-          {
-            Packet.h_ts = Sim.now t.sim;
-            h_tx_bytes = Port.tx_bytes e.eport + pkt.Packet.size;
-            h_qlen = e.ebytes;
-            h_gbps = Port.gbps e.eport;
-            h_link = Port.gid e.eport;
-          }
-        in
-        pkt.Packet.int_hops <- hop :: pkt.Packet.int_hops
-      end;
-      t.tx_packets <- t.tx_packets + 1;
-      Port.send e.eport pkt;
-      (* If serialization finished instantly this would loop; it cannot
-         (tx time >= 1 ns), so the next packet goes out on the idle
-         callback. *)
-      ()
+  if not e.epfc_paused then begin
+    if Port.busy e.eport then Port.ensure_wakeup e.eport
+    else begin
+      match Sched.next e.esched with
+      | None -> ()
+      | Some (q, pkt) ->
+        e.ebytes <- e.ebytes - pkt.Packet.size;
+        let delay = Sim.now t.sim - pkt.Packet.enq_at in
+        pkt.Packet.q_delay <- pkt.Packet.q_delay + delay;
+        pkt.Packet.hop_cnt <- pkt.Packet.hop_cnt + 1;
+        Buffer.on_dequeue t.buffer ~in_port:pkt.Packet.bp_in_port ~size:pkt.Packet.size;
+        if pkt.Packet.bp_in_port >= 0 then pfc_check_resume t pkt.Packet.bp_in_port;
+        if t.cfg.track_active_flows then flow_track_remove e pkt;
+        t.hk.on_dequeue t ~egress:e.eidx ~queue:q.Fifo.idx pkt;
+        t.hk.on_pkt_departed t ~egress:e.eidx pkt ~delay;
+        if t.cfg.int_stamping && pkt.Packet.kind = Packet.Data then
+          Packet.add_int_hop pkt ~ts:(Sim.now t.sim)
+            ~tx_bytes:(Port.tx_bytes e.eport + pkt.Packet.size)
+            ~qlen:e.ebytes ~gbps:(Port.gbps e.eport) ~link:(Port.gid e.eport);
+        t.tx_packets <- t.tx_packets + 1;
+        Port.send e.eport pkt;
+        (* serialization takes >= 1 ns, so the port is busy now; if more
+           traffic is queued, the idle wakeup pulls the next packet *)
+        if Sched.n_active e.esched > 0 then Port.ensure_wakeup e.eport
+    end
   end
 
 let kick t ~egress = try_send t t.egresses.(egress)
@@ -276,9 +282,7 @@ let pfc_check_pause t in_port =
       let threshold = pfc.threshold_frac *. float_of_int (Buffer.free t.buffer) in
       if float_of_int (Buffer.ingress_used t.buffer in_port) > threshold then begin
         t.pfc_sent.(in_port) <- true;
-        let pkt =
-          Packet.make Packet.Pfc ~src:t.node.Node.id ~dst:(-1) ~size:Packet.ctrl_bytes ()
-        in
+        let pkt = make_pfc t in
         pkt.Packet.ctrl_b <- 1;
         send_ctrl t ~egress:in_port pkt
       end
@@ -325,7 +329,10 @@ let forward t ~in_port pkt =
   then begin
     t.drops <- t.drops + 1;
     if pkt.Packet.kind = Packet.Data then t.data_drops <- t.data_drops + 1;
-    t.hk.on_drop t ~in_port ~egress ~queue:qidx pkt
+    t.hk.on_drop t ~in_port ~egress ~queue:qidx pkt;
+    (* Drop hooks only read the packet synchronously; the drop is its end
+       of life, so it goes back to the pool here. *)
+    recycle t pkt
   end
   else begin
     ecn_mark t q pkt;
@@ -356,7 +363,8 @@ let reboot t =
       Sched.flush e.esched (fun pkt ->
           incr flushed;
           t.drops <- t.drops + 1;
-          if pkt.Packet.kind = Packet.Data then t.data_drops <- t.data_drops + 1);
+          if pkt.Packet.kind = Packet.Data then t.data_drops <- t.data_drops + 1;
+          recycle t pkt);
       e.ebytes <- 0;
       if e.epfc_paused then begin
         e.epfc_paused <- false;
@@ -388,14 +396,19 @@ let queue_paused_since t ~egress ~queue =
 let receive t ~in_port pkt =
   t.rx_packets <- t.rx_packets + 1;
   match pkt.Packet.kind with
-  | Packet.Pfc -> handle_pfc t ~in_port pkt
+  | Packet.Pfc ->
+    handle_pfc t ~in_port pkt;
+    recycle t pkt
   | Packet.Pause | Packet.Resume | Packet.Pause_bitmap | Packet.Hop_credit ->
-    if not (t.hk.on_ctrl t ~in_port pkt) then ()
+    (* Control handlers consume the packet synchronously (handled or not,
+       a control frame terminates here). *)
+    ignore (t.hk.on_ctrl t ~in_port pkt);
+    recycle t pkt
   | Packet.Data | Packet.Ack | Packet.Nack | Packet.Credit | Packet.Credit_req | Packet.Grant
   | Packet.Cnp ->
     forward t ~in_port pkt
 
-let create ~sim ~node ~ports ~config:cfg ~route =
+let create ~sim ~node ~ports ~config:cfg ?pool ~route () =
   let n_ingress = Array.length ports in
   let quantum = cfg.mtu + Packet.header_bytes in
   let egresses =
@@ -427,6 +440,7 @@ let create ~sim ~node ~ports ~config:cfg ~route =
       sim;
       node;
       cfg;
+      pool;
       route;
       egresses;
       buffer = Buffer.create ~total:cfg.buffer_bytes ~alpha:cfg.dt_alpha ~n_ingress;

@@ -61,9 +61,18 @@ type hooks = {
 }
 
 (** [create ~sim ~node ~config ~route] attaches a switch device to [node].
-    [route] typically wraps {!Bfc_net.Topology.ecmp_port}. *)
+    [route] typically wraps {!Bfc_net.Topology.ecmp_port}. With [?pool],
+    control packets are drawn from (and consumed packets returned to) the
+    environment's packet pool; without it the switch allocates normally. *)
 val create :
-  sim:Bfc_engine.Sim.t -> node:Bfc_net.Node.t -> ports:Bfc_net.Port.t array -> config:config -> route:route_fn -> t
+  sim:Bfc_engine.Sim.t ->
+  node:Bfc_net.Node.t ->
+  ports:Bfc_net.Port.t array ->
+  config:config ->
+  ?pool:Bfc_net.Packet.Pool.t ->
+  route:route_fn ->
+  unit ->
+  t
 
 val hooks : t -> hooks
 
@@ -72,6 +81,10 @@ val config : t -> config
 val node_id : t -> int
 
 val sim : t -> Bfc_engine.Sim.t
+
+(** The attached packet pool, if the switch was created with one. Dataplane
+    programs use it to mint pause/credit frames without allocating. *)
+val pool : t -> Bfc_net.Packet.Pool.t option
 
 val n_ports : t -> int
 

@@ -100,6 +100,7 @@ type t = {
   sim : Sim.t;
   node : Node.t;
   cfg : config;
+  pool : Packet.Pool.t option;
   nic : Nic.t;
   txs : (int, tx) Hashtbl.t;
   rxs : (int, rx) Hashtbl.t;
@@ -126,6 +127,10 @@ let bytes_retransmitted t = t.bytes_retransmitted
 let watchdog_fires t = Nic.watchdog_fires t.nic
 
 let mtu_wire cfg = cfg.mtu + Packet.header_bytes + cfg.extra_header
+
+(* Return a fully-consumed packet to the environment's pool (no-op for
+   pool-less hosts, e.g. unit tests). *)
+let recycle t pkt = match t.pool with Some p -> Packet.Pool.release p pkt | None -> ()
 
 (* NIC queue depth kept per window-based flow; the refill pump tops it up on
    every dequeue, so the flow still sends at line rate when permitted. *)
@@ -162,7 +167,12 @@ let rate_of tx =
 (* Transmit path                                                        *)
 
 let make_data t tx ~seq ~len =
-  let pkt = Packet.data ~flow:tx.flow ~seq ~payload:len ~extra_header:t.cfg.extra_header () in
+  let pkt =
+    match t.pool with
+    | Some p -> Packet.Pool.data p ~flow:tx.flow ~seq ~payload:len ~extra_header:t.cfg.extra_header ()
+    | None ->
+      Packet.data ~sim:t.sim ~flow:tx.flow ~seq ~payload:len ~extra_header:t.cfg.extra_header ()
+  in
   if t.cfg.srf then pkt.Packet.remaining <- max 0 (tx.flow.Flow.size - tx.snd_una);
   t.bytes_sent <- t.bytes_sent + len;
   pkt
@@ -347,7 +357,8 @@ let on_ack t pkt =
       | Cc_dctcp d ->
         Dctcp.on_ack d ~acked ~marked:pkt.Packet.ecn_echo ~snd_una:tx.snd_una ~snd_nxt:tx.snd_nxt
       | Cc_hpcc h ->
-        Hpcc.on_ack h ~hops:pkt.Packet.int_hops ~ack_seq:pkt.Packet.seq ~snd_nxt:tx.snd_nxt
+        Hpcc.on_ack h ~hops:pkt.Packet.int_hops ~nhops:pkt.Packet.int_cnt ~ack_seq:pkt.Packet.seq
+          ~snd_nxt:tx.snd_nxt
       | Cc_delay d ->
         let rtt = Sim.now t.sim - pkt.Packet.sent_at in
         if pkt.Packet.sent_at > 0 then Delay_cc.on_ack d ~rtt
@@ -470,7 +481,11 @@ let get_rx t flow =
     rx
 
 let send_ctrl_pkt t kind ~flow ~dst ~size ~seq =
-  let pkt = Packet.make kind ~flow ~src:t.node.Node.id ~dst ~size ~seq () in
+  let pkt =
+    match t.pool with
+    | Some p -> Packet.Pool.acquire p kind ~flow ~src:t.node.Node.id ~dst ~size ~seq ()
+    | None -> Packet.make ~sim:t.sim kind ~flow ~src:t.node.Node.id ~dst ~size ~seq ()
+  in
   Nic.submit_ctrl t.nic pkt;
   pkt
 
@@ -491,8 +506,13 @@ let xpass_stop_credits rx =
 let rec xpass_pace t rx =
   if not rx.cr_stop then begin
     let credit =
-      Packet.make Packet.Credit ~flow:rx.rflow ~src:t.node.Node.id ~dst:rx.rflow.Flow.src
-        ~size:Packet.ctrl_bytes ()
+      match t.pool with
+      | Some p ->
+        Packet.Pool.acquire p Packet.Credit ~flow:rx.rflow ~src:t.node.Node.id
+          ~dst:rx.rflow.Flow.src ~size:Packet.ctrl_bytes ()
+      | None ->
+        Packet.make ~sim:t.sim Packet.Credit ~flow:rx.rflow ~src:t.node.Node.id
+          ~dst:rx.rflow.Flow.src ~size:Packet.ctrl_bytes ()
     in
     rx.cr_sent <- rx.cr_sent + 1;
     credit.Packet.ctrl_a <- rx.cr_sent;
@@ -588,9 +608,19 @@ let on_data t pkt =
     | _ -> true
   in
   if ack_now then begin
-    let ack = Packet.make Packet.Ack ~flow ~src:t.node.Node.id ~dst:flow.Flow.src ~size:Packet.ack_bytes ~seq:now_cov () in
+    let ack =
+      match t.pool with
+      | Some p ->
+        Packet.Pool.acquire p Packet.Ack ~flow ~src:t.node.Node.id ~dst:flow.Flow.src
+          ~size:Packet.ack_bytes ~seq:now_cov ()
+      | None ->
+        Packet.make ~sim:t.sim Packet.Ack ~flow ~src:t.node.Node.id ~dst:flow.Flow.src
+          ~size:Packet.ack_bytes ~seq:now_cov ()
+    in
     ack.Packet.ecn_echo <- pkt.Packet.ecn;
-    ack.Packet.int_hops <- pkt.Packet.int_hops;
+    (* Copy (never alias) the INT stack: [pkt] may be recycled the moment
+       this handler returns, while the ack is still in flight. *)
+    Packet.copy_int_hops ~src:pkt ~dst:ack;
     ack.Packet.sent_at <- pkt.Packet.sent_at;
     Nic.submit_ctrl t.nic ack
   end;
@@ -684,7 +714,9 @@ let start_flow t flow =
 (* Dispatch                                                             *)
 
 let receive t ~in_port:_ pkt =
-  match pkt.Packet.kind with
+  (* Every branch consumes the packet synchronously (handlers copy what
+     they keep), so the host is the end of its life: recycle afterwards. *)
+  (match pkt.Packet.kind with
   | Packet.Data -> on_data t pkt
   | Packet.Ack -> on_ack t pkt
   | Packet.Nack -> on_nack t pkt
@@ -693,9 +725,10 @@ let receive t ~in_port:_ pkt =
   | Packet.Credit_req -> on_credit_req t pkt
   | Packet.Cnp -> on_cnp t pkt
   | Packet.Pause | Packet.Resume | Packet.Pause_bitmap | Packet.Hop_credit | Packet.Pfc ->
-    Nic.on_ctrl t.nic pkt
+    Nic.on_ctrl t.nic pkt);
+  recycle t pkt
 
-let create ~sim ~node ~port ~config:cfg =
+let create ~sim ~node ~port ~config:cfg ?pool () =
   let nic =
     Nic.create ~sim ~port ~n_queues:cfg.nic_queues ~policy:cfg.nic_policy
       ~respect_pause:cfg.respect_pause ?pause_watchdog:cfg.pause_watchdog ?credit:cfg.nic_credit
@@ -707,6 +740,7 @@ let create ~sim ~node ~port ~config:cfg =
       sim;
       node;
       cfg;
+      pool;
       nic;
       txs = Hashtbl.create 64;
       rxs = Hashtbl.create 64;

@@ -47,9 +47,17 @@ val default_config : config
 type t
 
 (** [create ~sim ~node ~port ~config] attaches a host device to [node]
-    ([port] is its uplink). *)
+    ([port] is its uplink). With [?pool], data/ack/ctrl packets are drawn
+    from (and consumed packets returned to) the environment's packet
+    pool. *)
 val create :
-  sim:Bfc_engine.Sim.t -> node:Bfc_net.Node.t -> port:Bfc_net.Port.t -> config:config -> t
+  sim:Bfc_engine.Sim.t ->
+  node:Bfc_net.Node.t ->
+  port:Bfc_net.Port.t ->
+  config:config ->
+  ?pool:Bfc_net.Packet.Pool.t ->
+  unit ->
+  t
 
 val node_id : t -> int
 

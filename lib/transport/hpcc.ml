@@ -36,41 +36,41 @@ let create ~eta ~max_stage ~w_ai ~bdp ~base_rtt =
     u = 0.0;
   }
 
-let remember t hops =
-  List.iter
-    (fun h ->
-      let open Bfc_net.Packet in
-      match Hashtbl.find_opt t.links h.h_link with
-      | Some v ->
-        v.ts <- h.h_ts;
-        v.tx_bytes <- h.h_tx_bytes;
-        v.qlen <- h.h_qlen;
-        v.gbps <- h.h_gbps
-      | None ->
-        Hashtbl.add t.links h.h_link
-          { ts = h.h_ts; tx_bytes = h.h_tx_bytes; qlen = h.h_qlen; gbps = h.h_gbps })
-    hops
+let remember t hops nhops =
+  for i = 0 to nhops - 1 do
+    let h = hops.(i) in
+    let open Bfc_net.Packet in
+    match Hashtbl.find_opt t.links h.h_link with
+    | Some v ->
+      v.ts <- h.h_ts;
+      v.tx_bytes <- h.h_tx_bytes;
+      v.qlen <- h.h_qlen;
+      v.gbps <- h.h_gbps
+    | None ->
+      Hashtbl.add t.links h.h_link
+        { ts = h.h_ts; tx_bytes = h.h_tx_bytes; qlen = h.h_qlen; gbps = h.h_gbps }
+  done
 
 (* MeasureInflight from the HPCC paper: per link,
    u_j = qlen / (B.T) + txRate / B, take the max. *)
-let measure t hops =
+let measure t hops nhops =
   let u = ref 0.0 in
-  List.iter
-    (fun h ->
-      let open Bfc_net.Packet in
-      match Hashtbl.find_opt t.links h.h_link with
-      | None -> ()
-      | Some prev ->
-        if h.h_ts > prev.ts then begin
-          let dt = float_of_int (h.h_ts - prev.ts) in
-          let tx_rate = float_of_int (h.h_tx_bytes - prev.tx_bytes) /. dt in
-          let b = h.h_gbps /. 8.0 (* bytes per ns *) in
-          let bdp_link = b *. float_of_int t.base_rtt in
-          let qlen = float_of_int (min h.h_qlen prev.qlen) in
-          let u_j = (qlen /. bdp_link) +. (tx_rate /. b) in
-          if u_j > !u then u := u_j
-        end)
-    hops;
+  for i = 0 to nhops - 1 do
+    let h = hops.(i) in
+    let open Bfc_net.Packet in
+    match Hashtbl.find_opt t.links h.h_link with
+    | None -> ()
+    | Some prev ->
+      if h.h_ts > prev.ts then begin
+        let dt = float_of_int (h.h_ts - prev.ts) in
+        let tx_rate = float_of_int (h.h_tx_bytes - prev.tx_bytes) /. dt in
+        let b = h.h_gbps /. 8.0 (* bytes per ns *) in
+        let bdp_link = b *. float_of_int t.base_rtt in
+        let qlen = float_of_int (min h.h_qlen prev.qlen) in
+        let u_j = (qlen /. bdp_link) +. (tx_rate /. b) in
+        if u_j > !u then u := u_j
+      end
+  done;
   !u
 
 let compute_wind t ~u ~update_wc =
@@ -96,20 +96,20 @@ let compute_wind t ~u ~update_wc =
   let cap = 4.0 *. float_of_int t.bdp in
   if t.w > cap then t.w <- cap
 
-let on_ack t ~hops ~ack_seq ~snd_nxt =
+let on_ack t ~hops ~nhops ~ack_seq ~snd_nxt =
   if not t.have_baseline then begin
-    remember t hops;
+    remember t hops nhops;
     t.have_baseline <- true
   end
   else begin
-    let u = measure t hops in
+    let u = measure t hops nhops in
     t.u <- u;
     if u > 0.0 then begin
       let update_wc = ack_seq > t.last_update_seq in
       compute_wind t ~u ~update_wc;
       if update_wc then t.last_update_seq <- snd_nxt
     end;
-    remember t hops
+    remember t hops nhops
   end
 
 let window t = int_of_float t.w

@@ -16,9 +16,11 @@ val create :
   base_rtt:Bfc_engine.Time.t ->
   t
 
-(** [on_ack t ~hops ~ack_seq ~snd_nxt] — [hops] is the INT stack echoed in
-    the ACK. *)
-val on_ack : t -> hops:Bfc_net.Packet.int_hop list -> ack_seq:int -> snd_nxt:int -> unit
+(** [on_ack t ~hops ~nhops ~ack_seq ~snd_nxt] — [hops] is the INT stack
+    echoed in the ACK; only the first [nhops] records are valid (the
+    packet's cursor, see {!Bfc_net.Packet.int_cnt}). *)
+val on_ack :
+  t -> hops:Bfc_net.Packet.int_hop array -> nhops:int -> ack_seq:int -> snd_nxt:int -> unit
 
 val window : t -> int
 

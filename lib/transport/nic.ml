@@ -52,23 +52,27 @@ let rec create ~sim ~port ~n_queues ~policy ~respect_pause ?pause_watchdog ?cred
   t
 
 and try_send t =
-  if (not (Port.busy t.port)) && not t.pfc_paused then begin
-    match Sched.next t.sched with
-    | None -> ()
-    | Some (q, pkt) ->
-      t.backlog <- t.backlog - pkt.Packet.size;
-      if pkt.Packet.kind = Packet.Data then begin
-        pkt.Packet.upstream_q <- q.Fifo.idx;
-        match t.credit with
-        | Some b when q.Fifo.idx > 0 ->
-          let next = match Fifo.peek q with None -> 0 | Some p -> p.Packet.size in
-          if Balance.consume b ~queue:q.Fifo.idx ~bytes:pkt.Packet.size ~next then
-            Sched.set_paused t.sched q true
-        | _ -> ()
-      end;
-      pkt.Packet.sent_at <- Bfc_engine.Sim.now t.sim;
-      Port.send t.port pkt;
-      t.on_dequeue q.Fifo.idx
+  if not t.pfc_paused then begin
+    if Port.busy t.port then Port.ensure_wakeup t.port
+    else begin
+      match Sched.next t.sched with
+      | None -> ()
+      | Some (q, pkt) ->
+        t.backlog <- t.backlog - pkt.Packet.size;
+        if pkt.Packet.kind = Packet.Data then begin
+          pkt.Packet.upstream_q <- q.Fifo.idx;
+          match t.credit with
+          | Some b when q.Fifo.idx > 0 ->
+            let next = Fifo.head_size q in
+            if Balance.consume b ~queue:q.Fifo.idx ~bytes:pkt.Packet.size ~next then
+              Sched.set_paused t.sched q true
+          | _ -> ()
+        end;
+        pkt.Packet.sent_at <- Bfc_engine.Sim.now t.sim;
+        Port.send t.port pkt;
+        if Sched.n_active t.sched > 0 then Port.ensure_wakeup t.port;
+        t.on_dequeue q.Fifo.idx
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -159,7 +163,7 @@ let submit t ~queue pkt =
   (* credit gating: a starved queue stays paused until replenished *)
   (match t.credit with
   | Some b when queue > 0 && pkt.Packet.kind = Packet.Data ->
-    let next = match Fifo.peek q with None -> 0 | Some p -> p.Packet.size in
+    let next = Fifo.head_size q in
     if next > 0 && Balance.get b ~queue < next then Sched.set_paused t.sched q true
   | _ -> ());
   try_send t
@@ -199,7 +203,7 @@ let on_ctrl t pkt =
       let queue = pkt.Packet.ctrl_a in
       if queue > 0 && queue < Array.length t.queues then begin
         let q = t.queues.(queue) in
-        let next = match Fifo.peek q with None -> 0 | Some p -> p.Packet.size in
+        let next = Fifo.head_size q in
         if Balance.replenish b ~queue ~bytes:pkt.Packet.ctrl_b ~next then begin
           Sched.set_paused t.sched q false;
           try_send t

@@ -1,83 +1,145 @@
-type 'a entry = { priority : int; seq : int; value : 'a }
+(* Parallel-array 4-ary min-heap. Priorities and tie-breaking sequence
+   numbers live in unboxed int arrays; values in a third array. The hot-path
+   accessors ([pop_min_exn], [peek_priority]) allocate nothing — no entry
+   record, no [Some (p, v)] tuple — which matters because the simulator pops
+   one event per packet per hop.
+
+   Two further hot-path choices, both measured on the event-engine macro
+   benchmark: a branching factor of 4 halves the tree depth versus a binary
+   heap (the four children of a node share cache lines in the parallel
+   arrays), and sifting moves a hole instead of swapping — the displaced
+   element's (priority, seq, value) stay in locals and are written exactly
+   once at the final position. Internal index arithmetic is trusted, so the
+   sift loops use unsafe array accessors; every index is derived from
+   [size], which the public API keeps within capacity. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable prios : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+exception Empty
+
+let () =
+  Printexc.register_printer (function
+    | Empty -> Some "Heap.Empty (pop/peek on an empty heap)"
+    | _ -> None)
+
+let create () = { prios = [||]; seqs = [||]; vals = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let less a b = a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+let capacity t = Array.length t.vals
 
-let grow t e =
-  let cap = Array.length t.data in
+(* [v] seeds the value array on first growth; after that slots are recycled. *)
+let grow t v =
+  let cap = Array.length t.vals in
   if t.size = cap then begin
     let ncap = if cap = 0 then 64 else cap * 2 in
-    let nd = Array.make ncap e in
-    Array.blit t.data 0 nd 0 t.size;
-    t.data <- nd
+    let np = Array.make ncap 0 in
+    let ns = Array.make ncap 0 in
+    let nv = Array.make ncap v in
+    Array.blit t.prios 0 np 0 t.size;
+    Array.blit t.seqs 0 ns 0 t.size;
+    Array.blit t.vals 0 nv 0 t.size;
+    t.prios <- np;
+    t.seqs <- ns;
+    t.vals <- nv
   end
 
 let push t ~priority value =
-  let e = { priority; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  grow t e;
-  (* Sift up. *)
+  grow t value;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let prios = t.prios and seqs = t.seqs and vals = t.vals in
+  (* sift the hole up; write the new element once at its final slot *)
   let i = ref t.size in
   t.size <- t.size + 1;
-  let d = t.data in
-  d.(!i) <- e;
   let continue = ref true in
   while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if less e d.(parent) then begin
-      d.(!i) <- d.(parent);
-      d.(parent) <- e;
+    let parent = (!i - 1) / 4 in
+    let pp = Array.unsafe_get prios parent in
+    if priority < pp || (priority = pp && seq < Array.unsafe_get seqs parent) then begin
+      Array.unsafe_set prios !i pp;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs parent);
+      Array.unsafe_set vals !i (Array.unsafe_get vals parent);
       i := parent
     end
     else continue := false
-  done
+  done;
+  Array.unsafe_set prios !i priority;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set vals !i value
 
-let sift_down t =
-  let d = t.data in
-  let n = t.size in
-  let i = ref 0 in
-  let continue = ref true in
-  while !continue do
-    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-    let smallest = ref !i in
-    if l < n && less d.(l) d.(!smallest) then smallest := l;
-    if r < n && less d.(r) d.(!smallest) then smallest := r;
-    if !smallest <> !i then begin
-      let tmp = d.(!i) in
-      d.(!i) <- d.(!smallest);
-      d.(!smallest) <- tmp;
-      i := !smallest
-    end
-    else continue := false
-  done
+let peek_priority t =
+  if t.size = 0 then raise Empty;
+  t.prios.(0)
+
+let pop_min_exn t =
+  let n = t.size - 1 in
+  if n < 0 then raise Empty;
+  let prios = t.prios and seqs = t.seqs and vals = t.vals in
+  let top = Array.unsafe_get vals 0 in
+  t.size <- n;
+  if n > 0 then begin
+    (* re-insert the last element by sifting a hole down from the root *)
+    let mp = Array.unsafe_get prios n in
+    let ms = Array.unsafe_get seqs n in
+    let mv = Array.unsafe_get vals n in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let c0 = (4 * !i) + 1 in
+      if c0 >= n then continue := false
+      else begin
+        (* smallest of up to four children *)
+        let last = min (c0 + 3) (n - 1) in
+        let best = ref c0 in
+        let bp = ref (Array.unsafe_get prios c0) in
+        let bs = ref (Array.unsafe_get seqs c0) in
+        for c = c0 + 1 to last do
+          let cp = Array.unsafe_get prios c in
+          if cp < !bp || (cp = !bp && Array.unsafe_get seqs c < !bs) then begin
+            best := c;
+            bp := cp;
+            bs := Array.unsafe_get seqs c
+          end
+        done;
+        if !bp < mp || (!bp = mp && !bs < ms) then begin
+          Array.unsafe_set prios !i !bp;
+          Array.unsafe_set seqs !i !bs;
+          Array.unsafe_set vals !i (Array.unsafe_get vals !best);
+          i := !best
+        end
+        else continue := false
+      end
+    done;
+    Array.unsafe_set prios !i mp;
+    Array.unsafe_set seqs !i ms;
+    Array.unsafe_set vals !i mv
+  end;
+  top
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t
-    end;
-    Some (top.priority, top.value)
+    let p = t.prios.(0) in
+    Some (p, pop_min_exn t)
   end
 
-let peek t = if t.size = 0 then None else Some (t.data.(0).priority, t.data.(0).value)
+let peek t = if t.size = 0 then None else Some (t.prios.(0), t.vals.(0))
 
-let min_priority t = if t.size = 0 then None else Some t.data.(0).priority
+let min_priority t = if t.size = 0 then None else Some t.prios.(0)
 
+(* Keep the backing arrays: pooled simulations clear and refill the heap
+   repeatedly, and re-growing from zero capacity each round defeats the
+   point. Popped value slots are not scrubbed — they are overwritten by the
+   next pushes, and the values the engine stores (event handles) are small. *)
 let clear t =
   t.size <- 0;
-  t.data <- [||]
+  t.next_seq <- 0

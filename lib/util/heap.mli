@@ -2,9 +2,13 @@
 
     The event queue of the simulator sits on top of this heap; ties on the
     priority are broken by insertion order so that simulations are
-    deterministic. *)
+    deterministic. Storage is three parallel arrays (priority, sequence,
+    value), so the non-option accessors below allocate nothing. *)
 
 type 'a t
+
+(** Raised by {!pop_min_exn} and {!peek_priority} on an empty heap. *)
+exception Empty
 
 val create : unit -> 'a t
 
@@ -12,12 +16,24 @@ val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
+(** Current backing-array capacity (grows geometrically, kept by {!clear}). *)
+val capacity : 'a t -> int
+
 (** [push t ~priority v] inserts [v]. Amortized O(log n). *)
 val push : 'a t -> priority:int -> 'a -> unit
 
 (** [pop t] removes and returns the minimum-priority element (FIFO among
-    equal priorities). *)
+    equal priorities). Allocates the result tuple; the hot path should use
+    {!peek_priority} + {!pop_min_exn} instead. *)
 val pop : 'a t -> (int * 'a) option
+
+(** [pop_min_exn t] removes and returns the minimum element without
+    allocating. Raises {!Empty} when the heap is empty. *)
+val pop_min_exn : 'a t -> 'a
+
+(** [peek_priority t] is the priority of the minimum element, without
+    allocating. Raises {!Empty} when the heap is empty. *)
+val peek_priority : 'a t -> int
 
 (** [peek t] returns the minimum without removing it. *)
 val peek : 'a t -> (int * 'a) option
@@ -25,4 +41,6 @@ val peek : 'a t -> (int * 'a) option
 (** [min_priority t] is the priority of the minimum element. *)
 val min_priority : 'a t -> int option
 
+(** Empties the heap but keeps the backing arrays, so a cleared heap refills
+    without re-growing from zero capacity. *)
 val clear : 'a t -> unit

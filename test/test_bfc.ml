@@ -198,7 +198,7 @@ let attach_bfc sim t sw_id =
   in
   let sw =
     Switch.create ~sim ~node:(Topology.node t sw_id) ~ports:(Topology.ports t sw_id) ~config:cfg
-      ~route
+      ~route ()
   in
   let dp = Dataplane.attach sw { Dataplane.default_config with Dataplane.max_upstream_q = 16 } in
   (sw, dp)

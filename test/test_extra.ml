@@ -32,7 +32,7 @@ let test_xpass_credit_shaping () =
     Switch.create ~sim
       ~node:(Topology.node t st.Topology.st_switch)
       ~ports:(Topology.ports t st.Topology.st_switch)
-      ~config:cfg ~route
+      ~config:cfg ~route ()
   in
   Bfc_transport.Xpass_switch.attach sw ~mtu_wire:1048;
   let arrivals = ref [] in
@@ -71,7 +71,7 @@ let test_xpass_credit_queue_cap () =
     Switch.create ~sim
       ~node:(Topology.node t st.Topology.st_switch)
       ~ports:(Topology.ports t st.Topology.st_switch)
-      ~config:cfg ~route
+      ~config:cfg ~route ()
   in
   Bfc_transport.Xpass_switch.attach sw ~mtu_wire:1048;
   (Topology.node t st.Topology.st_receiver).Node.handler <- (fun ~in_port:_ _ -> ());

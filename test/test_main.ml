@@ -15,4 +15,5 @@ let () =
       ("final", Test_final.suite);
       ("fault", Test_fault.suite);
       ("lint", Test_lint.suite);
+      ("perf", Test_perf.suite);
     ]

@@ -37,7 +37,7 @@ let mk_one_switch ?(queues = 8) ?(dpcfg = Dataplane.default_config) () =
     Switch.create ~sim
       ~node:(Topology.node t st.Topology.st_switch)
       ~ports:(Topology.ports t st.Topology.st_switch)
-      ~config:cfg ~route
+      ~config:cfg ~route ()
   in
   let dp = Dataplane.attach sw { dpcfg with Dataplane.max_upstream_q = 16 } in
   (Topology.node t st.Topology.st_receiver).Node.handler <- (fun ~in_port:_ _ -> ());
@@ -151,7 +151,7 @@ let test_bitmap_refresh_repauses () =
   in
   let cfg = { Switch.default_config with Switch.queues_per_port = 4 } in
   let mk id dpcfg =
-    let sw = Switch.create ~sim ~node:(Topology.node t id) ~ports:(Topology.ports t id) ~config:cfg ~route in
+    let sw = Switch.create ~sim ~node:(Topology.node t id) ~ports:(Topology.ports t id) ~config:cfg ~route () in
     (sw, Dataplane.attach sw { dpcfg with Dataplane.max_upstream_q = 8 })
   in
   let up_sw, _ = mk up Dataplane.default_config in

@@ -1,0 +1,184 @@
+(* Regression tests for the performance-engineering layer (PR 3): the
+   non-allocating heap API, per-sim packet uids, the reusable ticker
+   handle, the packet pool's full-field reset, and determinism of the
+   domain-parallel sweep runner. *)
+
+open Alcotest
+module Heap = Bfc_util.Heap
+module Sim = Bfc_engine.Sim
+module Time = Bfc_engine.Time
+module Packet = Bfc_net.Packet
+module Exp_common = Bfc_sim.Exp_common
+module Experiments = Bfc_sim.Experiments
+module Pool = Bfc_sim.Pool
+
+(* ------------------------------- heap ------------------------------ *)
+
+let test_heap_pop_min_exn_empty () =
+  let h = Heap.create () in
+  check_raises "pop on empty" Heap.Empty (fun () -> ignore (Heap.pop_min_exn h));
+  check_raises "peek on empty" Heap.Empty (fun () -> ignore (Heap.peek_priority h))
+
+let test_heap_duplicate_priorities_fifo () =
+  let h = Heap.create () in
+  Heap.push h ~priority:5 "a";
+  Heap.push h ~priority:5 "b";
+  Heap.push h ~priority:1 "first";
+  Heap.push h ~priority:5 "c";
+  check string "lowest prio first" "first" (Heap.pop_min_exn h);
+  check int "peek ties" 5 (Heap.peek_priority h);
+  check string "tie 1 in push order" "a" (Heap.pop_min_exn h);
+  check string "tie 2 in push order" "b" (Heap.pop_min_exn h);
+  check string "tie 3 in push order" "c" (Heap.pop_min_exn h);
+  check bool "drained" true (Heap.is_empty h)
+
+let test_heap_clear_reuses_capacity () =
+  let h = Heap.create () in
+  for i = 0 to 999 do
+    Heap.push h ~priority:i i
+  done;
+  let cap = Heap.capacity h in
+  check bool "grew past initial" true (cap >= 1000);
+  Heap.clear h;
+  check int "empty after clear" 0 (Heap.length h);
+  check int "backing array kept" cap (Heap.capacity h);
+  for i = 0 to 999 do
+    Heap.push h ~priority:(1000 - i) i
+  done;
+  check int "no regrowth after clear" cap (Heap.capacity h);
+  check int "order still correct" 999 (Heap.pop_min_exn h)
+
+(* --------------------------- per-sim uids -------------------------- *)
+
+let test_uid_sequences_identical_across_sims () =
+  let uids sim =
+    List.init 50 (fun i ->
+        let p =
+          Packet.make ~sim Packet.Data ~src:0 ~dst:1 ~size:1000 ~payload:i ()
+        in
+        p.Packet.uid)
+  in
+  let a = uids (Sim.create ()) in
+  let b = uids (Sim.create ()) in
+  check (list int) "fresh sims give identical uid sequences" a b;
+  check int "uids start at 0" 0 (List.hd a)
+
+(* ------------------------------ ticker ----------------------------- *)
+
+let test_ticker_no_event_leak () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let tk = Sim.every sim ~period:(Time.us 1.0) (fun () -> incr fired) in
+  (* a running ticker keeps exactly one armed handle in the heap *)
+  ignore (Sim.run sim ~until:(Time.us 10.5));
+  check int "fired each period" 10 !fired;
+  check int "one pending event while running" 1 (Sim.pending_events sim);
+  Sim.stop_ticker tk;
+  check int "stop cancels the armed handle" 0 (Sim.pending_events sim);
+  ignore (Sim.run sim ~until:(Time.us 30.0));
+  check int "no fires after stop" 10 !fired
+
+(* ---------------------------- packet pool -------------------------- *)
+
+let test_pool_reset_all_fields () =
+  let sim = Sim.create () in
+  let pool = Packet.Pool.create ~sim in
+  let p =
+    Packet.Pool.acquire pool Packet.Data ~src:3 ~dst:4 ~size:1500 ~payload:1400 ~seq:7
+      ~prio:2 ()
+  in
+  (* dirty every mutable field a switch/host can touch *)
+  p.Packet.ecn <- true;
+  p.Packet.ecn_echo <- true;
+  p.Packet.bp_in_port <- 9;
+  p.Packet.bp_upq <- 11;
+  p.Packet.bp_counted <- true;
+  p.Packet.bp_sampled <- false;
+  p.Packet.path_hint <- 5;
+  p.Packet.ints <- [| 1; 2; 3 |];
+  Packet.add_int_hop p ~ts:10 ~tx_bytes:100 ~qlen:200 ~gbps:100.0 ~link:1;
+  Packet.add_int_hop p ~ts:20 ~tx_bytes:300 ~qlen:400 ~gbps:100.0 ~link:2;
+  check int "hops recorded" 2 (Packet.int_hop_count p);
+  Packet.Pool.release pool p;
+  let q = Packet.Pool.acquire pool Packet.Ack ~src:1 ~dst:0 ~size:64 () in
+  check bool "recycled the same record" true (p == q);
+  check bool "ecn reset" false q.Packet.ecn;
+  check bool "ecn_echo reset" false q.Packet.ecn_echo;
+  check int "bp_in_port reset" (-1) q.Packet.bp_in_port;
+  check int "bp_upq reset" (-1) q.Packet.bp_upq;
+  check bool "bp_counted reset" false q.Packet.bp_counted;
+  check bool "bp_sampled reset" true q.Packet.bp_sampled;
+  check int "path_hint reset" (-1) q.Packet.path_hint;
+  check int "ints cleared" 0 (Array.length q.Packet.ints);
+  check int "int_hops cursor reset" 0 (Packet.int_hop_count q);
+  check int "payload reset" 0 q.Packet.payload;
+  check int "seq reset" 0 q.Packet.seq;
+  check int "prio reset" 0 q.Packet.prio;
+  check bool "fresh uid on reuse" true (q.Packet.uid <> p.Packet.uid || q.Packet.uid >= 0)
+
+let test_pool_double_release_rejected () =
+  let sim = Sim.create () in
+  let pool = Packet.Pool.create ~sim in
+  let p = Packet.Pool.acquire pool Packet.Data ~src:0 ~dst:1 ~size:100 () in
+  Packet.Pool.release pool p;
+  check_raises "double release"
+    (Invalid_argument "Packet.Pool.release: double release") (fun () ->
+      Packet.Pool.release pool p)
+
+(* -------------------------- parallel sweeps ------------------------ *)
+
+let test_pool_run_preserves_order () =
+  let tasks = List.init 40 (fun i -> fun () -> i * i) in
+  check (list int) "jobs=4 matches sequential" (Pool.run ~jobs:1 tasks)
+    (Pool.run ~jobs:4 tasks)
+
+let test_pool_run_error_in_task_order () =
+  let boom i = Failure (Printf.sprintf "task %d" i) in
+  let tasks = List.init 8 (fun i -> fun () -> if i >= 5 then raise (boom i) else i) in
+  let index_of = function
+    | Pool.Task_error { index; _ } -> index
+    | _ -> -1
+  in
+  let got j =
+    match Pool.run ~jobs:j tasks with
+    | _ -> -1
+    | exception e -> index_of e
+  in
+  check int "sequential reports first failing task" 5 (got 1);
+  check int "parallel reports the same task" 5 (got 4)
+
+let test_run_parallel_rows_identical () =
+  (* a smoke-profile multi-point experiment, sequential vs 4 domains: the
+     table rows must be byte-identical *)
+  let target =
+    match Experiments.find "fig12" with Some t -> t | None -> fail "fig12 missing"
+  in
+  let tables jobs =
+    let prev = Pool.default_jobs () in
+    Pool.set_default_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Pool.set_default_jobs prev)
+      (fun () -> target.Experiments.t_run Exp_common.Smoke)
+  in
+  let flat ts =
+    List.concat_map
+      (fun t -> (t.Exp_common.title :: t.Exp_common.header) :: t.Exp_common.rows)
+      ts
+  in
+  let seq = flat (tables 1) in
+  let par = flat (tables 4) in
+  check (list (list string)) "rows byte-identical at jobs=4" seq par
+
+let suite =
+  [
+    test_case "heap pop_min_exn empty" `Quick test_heap_pop_min_exn_empty;
+    test_case "heap duplicate priorities fifo" `Quick test_heap_duplicate_priorities_fifo;
+    test_case "heap clear reuses capacity" `Quick test_heap_clear_reuses_capacity;
+    test_case "per-sim uid determinism" `Quick test_uid_sequences_identical_across_sims;
+    test_case "ticker no event leak" `Quick test_ticker_no_event_leak;
+    test_case "packet pool resets all fields" `Quick test_pool_reset_all_fields;
+    test_case "packet pool double release" `Quick test_pool_double_release_rejected;
+    test_case "domain pool preserves order" `Quick test_pool_run_preserves_order;
+    test_case "domain pool error in task order" `Quick test_pool_run_error_in_task_order;
+    test_case "run_parallel byte-identical rows" `Slow test_run_parallel_rows_identical;
+  ]

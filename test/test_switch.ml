@@ -191,7 +191,7 @@ let mini_net ?(config = Switch.default_config) () =
   let route _sw ~in_port:_ pkt = (Topology.candidates t ~node:st.Topology.st_switch ~dst:pkt.Packet.dst).(0) in
   let sw =
     Switch.create ~sim ~node:(Topology.node t st.Topology.st_switch)
-      ~ports:(Topology.ports t st.Topology.st_switch) ~config ~route
+      ~ports:(Topology.ports t st.Topology.st_switch) ~config ~route ()
   in
   (sim, st, t, sw)
 
@@ -284,8 +284,8 @@ let test_switch_int_stamping () =
   ignore (Sim.run_until_idle sim);
   match !log with
   | [ p ] ->
-    check Alcotest.int "one INT hop" 1 (List.length p.Packet.int_hops);
-    let h = List.hd p.Packet.int_hops in
+    check Alcotest.int "one INT hop" 1 (Packet.int_hop_count p);
+    let h = Packet.get_int_hop p 0 in
     Alcotest.(check (float 0.01)) "gbps recorded" 100.0 h.Packet.h_gbps;
     Alcotest.(check bool) "tx bytes positive" true (h.Packet.h_tx_bytes > 0)
   | _ -> Alcotest.fail "expected exactly one delivery"

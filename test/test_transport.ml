@@ -60,10 +60,10 @@ let test_hpcc_reduces_when_overloaded () =
   let h = Hpcc.create ~eta:0.95 ~max_stage:5 ~w_ai:80.0 ~bdp:100_000 ~base_rtt:8_000 in
   let w0 = Hpcc.window h in
   (* first ack primes the baseline *)
-  Hpcc.on_ack h ~hops:[ hop ~ts:1_000 ~tx:0 ~qlen:200_000 ] ~ack_seq:1_000 ~snd_nxt:10_000;
+  Hpcc.on_ack h ~hops:[| hop ~ts:1_000 ~tx:0 ~qlen:200_000 |] ~nhops:1 ~ack_seq:1_000 ~snd_nxt:10_000;
   (* link running at full rate with a huge queue: U >> eta *)
   Hpcc.on_ack h
-    ~hops:[ hop ~ts:9_000 ~tx:100_000 ~qlen:200_000 ]
+    ~hops:[| hop ~ts:9_000 ~tx:100_000 ~qlen:200_000 |] ~nhops:1
     ~ack_seq:2_000 ~snd_nxt:20_000;
   Alcotest.(check bool)
     (Printf.sprintf "window cut (%d -> %d)" w0 (Hpcc.window h))
@@ -73,10 +73,10 @@ let test_hpcc_reduces_when_overloaded () =
 
 let test_hpcc_grows_when_idle () =
   let h = Hpcc.create ~eta:0.95 ~max_stage:5 ~w_ai:80.0 ~bdp:100_000 ~base_rtt:8_000 in
-  Hpcc.on_ack h ~hops:[ hop ~ts:1_000 ~tx:0 ~qlen:0 ] ~ack_seq:1_000 ~snd_nxt:10_000;
+  Hpcc.on_ack h ~hops:[| hop ~ts:1_000 ~tx:0 ~qlen:0 |] ~nhops:1 ~ack_seq:1_000 ~snd_nxt:10_000;
   let w1 = Hpcc.window h in
   (* almost idle link: tiny tx delta, empty queue *)
-  Hpcc.on_ack h ~hops:[ hop ~ts:9_000 ~tx:800 ~qlen:0 ] ~ack_seq:2_000 ~snd_nxt:20_000;
+  Hpcc.on_ack h ~hops:[| hop ~ts:9_000 ~tx:800 ~qlen:0 |] ~nhops:1 ~ack_seq:2_000 ~snd_nxt:20_000;
   Alcotest.(check bool) "window grew additively" true (Hpcc.window h >= w1)
 
 (* ------------------------------- DCQCN ----------------------------- *)
@@ -337,13 +337,13 @@ let test_host_flow_completes () =
     Bfc_switch.Switch.create ~sim
       ~node:(Topology.node t st.Topology.st_switch)
       ~ports:(Topology.ports t st.Topology.st_switch)
-      ~config:cfg ~route
+      ~config:cfg ~route ()
   in
   ignore
     (Bfc_core.Dataplane.attach sw
        { Bfc_core.Dataplane.default_config with Bfc_core.Dataplane.max_upstream_q = 16 });
   let hostcfg = { Host.default_config with Host.nic_queues = 8; bdp = 25_000 } in
-  let mk i = Host.create ~sim ~node:(Topology.node t i) ~port:(Topology.ports t i).(0) ~config:hostcfg in
+  let mk i = Host.create ~sim ~node:(Topology.node t i) ~port:(Topology.ports t i).(0) ~config:hostcfg () in
   let h0 = mk st.Topology.st_senders.(0) in
   let _h1 = mk st.Topology.st_senders.(1) in
   let hr = mk st.Topology.st_receiver in
