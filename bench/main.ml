@@ -9,7 +9,10 @@
      dune exec bench/main.exe -- --jobs 8 fig12   -- sweeps on 8 domains
      dune exec bench/main.exe -- --micro      -- only the microbenchmarks
      dune exec bench/main.exe -- --macro      -- engine macro benchmark
-                                                 (writes BENCH_engine.json) *)
+                                                 (writes BENCH_engine.json)
+     dune exec bench/main.exe -- --engine-profile
+                                              -- one quick run, engine
+                                                 self-profile JSON on stdout *)
 
 module Experiments = Bfc_sim.Experiments
 module Exp_common = Bfc_sim.Exp_common
@@ -115,6 +118,16 @@ let run_macro ~jobs ~out () =
   Printf.printf "  packets allocated     %d\n" allocated;
   Printf.printf "  packets recycled      %d (%.1f%% of acquires)\n%!" recycled
     (100.0 *. recycle_ratio);
+  (* engine self-profile of the same run: event-class mix, heap pressure,
+     handle reuse *)
+  let prof = Bfc_engine.Sim.profile (Runner.sim r.Exp_common.env) in
+  Printf.printf "  event classes         one-shot %d, reusable %d, ticker %d\n"
+    prof.Bfc_engine.Sim.p_one_shot prof.Bfc_engine.Sim.p_reusable prof.Bfc_engine.Sim.p_ticker;
+  Printf.printf "  heap high-water       %d (capacity %d)\n" prof.Bfc_engine.Sim.p_heap_hwm
+    prof.Bfc_engine.Sim.p_heap_capacity;
+  Printf.printf "  handle rearms         %d, cancels %d\n%!" prof.Bfc_engine.Sim.p_rearms
+    prof.Bfc_engine.Sim.p_cancels;
+  let profile_json = Bfc_sim.Telemetry.engine_profile_json r.Exp_common.env in
   (* 2. sweep speedup: the same independent tasks, 1 domain vs N *)
   let tasks = max 4 jobs in
   let thunks =
@@ -168,11 +181,12 @@ let run_macro ~jobs ~out () =
     "seq_seconds": %.3f,
     "par_seconds": %.3f,
     "speedup": %.2f
-  }%s
+  },
+  "profile": %s%s
 }
 |}
     (Pool.recommended_jobs ()) events secs eps allocated recycled recycle_ratio tasks jobs
-    seq_secs par_secs speedup comparison;
+    seq_secs par_secs speedup profile_json comparison;
   close_out oc;
   Printf.printf "  wrote %s\n%!" out
 
@@ -204,6 +218,12 @@ let () =
     | "--macro" :: rest ->
       macro_only := true;
       parse rest
+    | "--engine-profile" :: _ ->
+      (* one quick run, engine self-profile JSON on stdout (--profile is
+         taken by the scale selector, hence the distinct flag name) *)
+      let r = Exp_common.run_std (quick_setup 1) in
+      print_endline (Bfc_sim.Telemetry.engine_profile_json r.Exp_common.env);
+      exit 0
     | "--bench-out" :: path :: rest ->
       bench_out := path;
       parse rest

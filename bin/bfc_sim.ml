@@ -114,6 +114,93 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"One ad-hoc Clos run with chosen scheme/workload/load")
     Term.(const run $ profile_arg $ scheme $ dist $ load $ incast $ seed)
 
+let trace_cmd =
+  let module Time = Bfc_engine.Time in
+  let module Telemetry = Bfc_sim.Telemetry in
+  let scheme = Arg.(value & pos 0 scheme_conv Scheme.bfc & info [] ~docv:"SCHEME") in
+  let dist = Arg.(value & opt dist_conv Dist.fb_hadoop & info [ "dist" ] ~docv:"DIST") in
+  let load = Arg.(value & opt float 0.6 & info [ "load" ] ~docv:"LOAD") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
+  let trace_out =
+    Arg.(value & opt string "trace.json"
+        & info [ "trace-out" ] ~docv:"FILE"
+            ~doc:"Chrome trace-event JSON output (open in ui.perfetto.dev).")
+  in
+  let series_out =
+    Arg.(value & opt (some string) None
+        & info [ "series-out" ] ~docv:"FILE" ~doc:"Gauge time-series CSV output.")
+  in
+  let jsonl_out =
+    Arg.(value & opt (some string) None
+        & info [ "jsonl-out" ] ~docv:"FILE" ~doc:"Raw trace records as JSON lines.")
+  in
+  let trace_cap =
+    Arg.(value & opt int 0
+        & info [ "trace-cap" ] ~docv:"N"
+            ~doc:"Trace ring capacity (oldest records overwritten); 0 = unbounded.")
+  in
+  let series_period =
+    Arg.(value & opt float 10.0
+        & info [ "series-period" ] ~docv:"US" ~doc:"Gauge sampling period in microseconds.")
+  in
+  let run profile scheme dist load seed trace_out series_out jsonl_out trace_cap series_period =
+    let tel = ref None in
+    let s =
+      {
+        (Exp_common.std profile scheme) with
+        Exp_common.sp_dist = dist;
+        sp_load = load;
+        sp_seed = seed;
+        sp_obs =
+          (fun env ->
+            tel :=
+              Some
+                (Telemetry.attach
+                   ~config:
+                     {
+                       Telemetry.t_enabled = true;
+                       t_trace = true;
+                       t_trace_capacity = trace_cap;
+                       t_series_period = Some (Time.us series_period);
+                     }
+                   env));
+      }
+    in
+    let r = Exp_common.run_std s in
+    let env = r.Exp_common.env in
+    let tel = match !tel with Some t -> t | None -> assert false (* sp_obs always runs *) in
+    let with_out path f =
+      let oc = open_out path in
+      f oc;
+      close_out oc
+    in
+    with_out trace_out (Telemetry.write_trace tel);
+    Printf.printf "wrote %s (%d trace records)\n" trace_out
+      (match Telemetry.trace tel with
+      | Some b -> Bfc_obs.Trace.length b
+      | None -> 0);
+    (match series_out with
+    | None -> ()
+    | Some path ->
+      with_out path (Telemetry.write_series tel);
+      Printf.printf "wrote %s (%d samples)\n" path
+        (match Telemetry.series tel with Some s -> Bfc_obs.Series.n_samples s | None -> 0));
+    (match jsonl_out with
+    | None -> ()
+    | Some path -> with_out path (Telemetry.write_jsonl tel));
+    Printf.printf "scheme=%s dist=%s load=%.2f completed=%d/%d drops=%d\n" (Scheme.name scheme)
+      (Dist.name dist) load (Runner.completed env) (Runner.injected env) (Runner.total_drops env);
+    Printf.printf "counters: %s\n" (Telemetry.counters_json tel);
+    Printf.printf "engine: %s\n" (Telemetry.engine_profile_json env)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "One Clos run with the telemetry subsystem attached: packet-lifecycle Perfetto trace, \
+          gauge time series and engine self-profile")
+    Term.(const run $ profile_arg $ scheme $ dist $ load $ seed $ trace_out $ series_out
+          $ jsonl_out $ trace_cap $ series_period)
+
 let faults_cmd =
   let module Time = Bfc_engine.Time in
   let module Topology = Bfc_net.Topology in
@@ -258,4 +345,4 @@ let lint_cmd =
 let () =
   let doc = "Backpressure Flow Control (NSDI 2022) reproduction" in
   let info = Cmd.info "bfc_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sweep_cmd; faults_cmd; lint_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sweep_cmd; trace_cmd; faults_cmd; lint_cmd ]))

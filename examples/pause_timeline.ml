@@ -43,4 +43,15 @@ let () =
       Printf.printf "\nflow %d: fct %.1fus (slowdown %.2fx)" f.Flow.id
         (Time.to_us (Flow.fct f)) (Runner.slowdown env f))
     flows;
-  print_newline ()
+  print_newline ();
+  (* The same control-plane events as a Perfetto trace: one track per node,
+     open the file in ui.perfetto.dev. *)
+  let out = "pause_timeline_trace.json" in
+  let oc = open_out out in
+  Bfc_obs.Trace.to_chrome
+    ~process_name:(fun ~pid -> Some (Printf.sprintf "node %d" pid))
+    (Tracer.trace tracer) oc;
+  close_out oc;
+  Printf.printf "wrote %s (%d control-plane events; open in ui.perfetto.dev)\n"
+    out
+    (Bfc_obs.Trace.length (Tracer.trace tracer))

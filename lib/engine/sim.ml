@@ -4,10 +4,18 @@ type t = {
   mutable live : int; (* scheduled, not yet fired, not cancelled *)
   mutable executed : int;
   mutable next_uid : int;
+  (* self-profiling: per-event-class execution counts, heap-depth
+     high-water mark and handle-reuse stats. Plain int stores, cheap
+     enough to keep on unconditionally (see bench --macro). *)
+  exec_by_class : int array; (* indexed by handle class *)
+  mutable heap_hwm : int;
+  mutable rearms : int;
+  mutable cancels : int;
 }
 
 and handle = {
   owner : t;
+  cls : int; (* 0 one-shot, 1 reusable, 2 ticker *)
   mutable alive : bool;
   mutable fired : bool;
   mutable fn : unit -> unit;
@@ -15,8 +23,36 @@ and handle = {
 
 type ticker = { mutable running : bool; tick_handle : handle }
 
+let cls_one_shot = 0
+
+let cls_reusable = 1
+
+let cls_ticker = 2
+
+type profile = {
+  p_one_shot : int;
+  p_reusable : int;
+  p_ticker : int;
+  p_heap_hwm : int;
+  p_heap_capacity : int;
+  p_rearms : int;
+  p_cancels : int;
+  p_executed : int;
+  p_live : int;
+}
+
 let create () =
-  { clock = 0; heap = Bfc_util.Heap.create (); live = 0; executed = 0; next_uid = 0 }
+  {
+    clock = 0;
+    heap = Bfc_util.Heap.create ();
+    live = 0;
+    executed = 0;
+    next_uid = 0;
+    exec_by_class = Array.make 3 0;
+    heap_hwm = 0;
+    rearms = 0;
+    cancels = 0;
+  }
 
 let now t = t.clock
 
@@ -25,11 +61,17 @@ let fresh_uid t =
   t.next_uid <- u + 1;
   u
 
+(* Heap-depth high-water mark, maintained at every push point. *)
+let note_depth t =
+  let d = Bfc_util.Heap.length t.heap in
+  if d > t.heap_hwm then t.heap_hwm <- d
+
 let at t time fn =
   if time < t.clock then
     invalid_arg (Printf.sprintf "Sim.at: scheduling in the past (%d < %d)" time t.clock);
-  let h = { owner = t; alive = true; fired = false; fn } in
+  let h = { owner = t; cls = cls_one_shot; alive = true; fired = false; fn } in
   Bfc_util.Heap.push t.heap ~priority:time h;
+  note_depth t;
   t.live <- t.live + 1;
   h
 
@@ -41,7 +83,7 @@ let after t delay fn = at t (t.clock + max 0 delay) fn
    that was [cancel]led while armed still has a stale heap entry and must
    not be rearmed before its original deadline passes — the engine's own
    users (Port) never cancel reusable handles. *)
-let make_handle t fn = { owner = t; alive = false; fired = false; fn }
+let make_handle t fn = { owner = t; cls = cls_reusable; alive = false; fired = false; fn }
 
 let rearm h ~at:time =
   let t = h.owner in
@@ -51,12 +93,15 @@ let rearm h ~at:time =
   h.alive <- true;
   h.fired <- false;
   Bfc_util.Heap.push t.heap ~priority:time h;
-  t.live <- t.live + 1
+  note_depth t;
+  t.live <- t.live + 1;
+  t.rearms <- t.rearms + 1
 
 let cancel h =
   if h.alive && not h.fired then begin
     h.alive <- false;
-    h.owner.live <- h.owner.live - 1
+    h.owner.live <- h.owner.live - 1;
+    h.owner.cancels <- h.owner.cancels + 1
   end
 
 let pending h = h.alive && not h.fired
@@ -71,6 +116,7 @@ let every t ~period fn =
   and h =
     {
       owner = t;
+      cls = cls_ticker;
       alive = true;
       fired = false;
       fn =
@@ -80,12 +126,14 @@ let every t ~period fn =
             if tick.running then begin
               h.fired <- false;
               Bfc_util.Heap.push t.heap ~priority:(t.clock + period) h;
+              note_depth t;
               t.live <- t.live + 1
             end
           end);
     }
   in
   Bfc_util.Heap.push t.heap ~priority:(t.clock + period) h;
+  note_depth t;
   t.live <- t.live + 1;
   tick
 
@@ -105,6 +153,7 @@ let step t =
       h.fired <- true;
       t.live <- t.live - 1;
       t.executed <- t.executed + 1;
+      t.exec_by_class.(h.cls) <- t.exec_by_class.(h.cls) + 1;
       h.fn ();
       true
     end
@@ -147,3 +196,16 @@ let run_until_idle ?(cap = safety_cap) t =
 let pending_events t = t.live
 
 let executed_events t = t.executed
+
+let profile t =
+  {
+    p_one_shot = t.exec_by_class.(cls_one_shot);
+    p_reusable = t.exec_by_class.(cls_reusable);
+    p_ticker = t.exec_by_class.(cls_ticker);
+    p_heap_hwm = t.heap_hwm;
+    p_heap_capacity = Bfc_util.Heap.capacity t.heap;
+    p_rearms = t.rearms;
+    p_cancels = t.cancels;
+    p_executed = t.executed;
+    p_live = t.live;
+  }

@@ -80,3 +80,31 @@ val pending_events : t -> int
 (** Total events executed over the simulation's lifetime; the denominator
     for events/sec macro benchmarks. *)
 val executed_events : t -> int
+
+(** Engine self-profile: how the event load decomposes and how hard the
+    heap and the handle-reuse machinery are working. Maintained
+    unconditionally (plain int stores per event); read it at any point.
+
+    - [p_one_shot] / [p_reusable] / [p_ticker]: events executed per class —
+      fresh [at]/[after] closures, reusable handles ([make_handle] +
+      {!rearm}: port wakeups, pooled deliveries), and {!every} ticks.
+      A healthy hot path executes mostly reusable events.
+    - [p_heap_hwm]: deepest the pending-event heap ever got (backlog
+      high-water mark); [p_heap_capacity] is the backing-array size it
+      grew to.
+    - [p_rearms]: handle re-armings — every one is an allocation avoided.
+    - [p_cancels]: cancellations (each leaves a tombstone until its
+      deadline). *)
+type profile = {
+  p_one_shot : int;
+  p_reusable : int;
+  p_ticker : int;
+  p_heap_hwm : int;
+  p_heap_capacity : int;
+  p_rearms : int;
+  p_cancels : int;
+  p_executed : int;
+  p_live : int;
+}
+
+val profile : t -> profile

@@ -7,18 +7,54 @@ module Switch = Bfc_switch.Switch
 module Dataplane = Bfc_core.Dataplane
 module Runner = Bfc_sim.Runner
 module Tracer = Bfc_sim.Tracer
+module Registry = Bfc_obs.Registry
 
 (* Per directed port: the injector owns the port's fault predicate and
    composes link-down state with an optional loss model. *)
 type link_state = { lport : Port.t; mutable down : bool; mutable loss : Loss.t option }
 
+(* Telemetry probes, when the injector is attached with a registry. *)
+type probes = {
+  reg : Registry.t;
+  c_down : Registry.counter;
+  c_up : Registry.counter;
+  c_reboot : Registry.counter;
+  c_flushed : Registry.counter;
+}
+
 type t = {
   env : Runner.env;
   tracer : Tracer.t option;
   links : (int, link_state) Hashtbl.t; (* gid -> state *)
+  probes : probes option;
 }
 
-let attach ?tracer env = { env; tracer; links = Hashtbl.create 64 }
+let bump t f = match t.probes with None -> () | Some p -> Registry.incr p.reg (f p)
+
+let attach ?tracer ?registry env =
+  let probes =
+    Option.map
+      (fun reg ->
+        {
+          reg;
+          c_down = Registry.counter reg "fault_link_downs";
+          c_up = Registry.counter reg "fault_link_ups";
+          c_reboot = Registry.counter reg "fault_reboots";
+          c_flushed = Registry.counter reg "fault_packets_flushed";
+        })
+      registry
+  in
+  let t = { env; tracer; links = Hashtbl.create 64; probes } in
+  (match registry with
+  | None -> ()
+  | Some reg ->
+    Registry.gauge reg "fault_links_down" (fun () ->
+        (* commutative count; bfc-lint: allow det-hashtbl-order *)
+        float_of_int (Hashtbl.fold (fun _ s n -> if s.down then n + 1 else n) t.links 0));
+    Registry.gauge reg "fault_packets_lost" (fun () ->
+        (* commutative sum; bfc-lint: allow det-hashtbl-order *)
+        float_of_int (Hashtbl.fold (fun _ s acc -> acc + Port.faults_injected s.lport) t.links 0)));
+  t
 
 let note t ~node ev =
   match t.tracer with None -> () | Some tr -> Tracer.note tr t.env ~node ev
@@ -60,6 +96,7 @@ let link_down t ~gid =
   if not s.down then begin
     s.down <- true;
     (state t ~gid:(Port.gid (reverse_port t s.lport))).down <- true;
+    bump t (fun p -> p.c_down);
     note t ~node:(owner t s.lport) (Tracer.Link_down { gid })
   end
 
@@ -68,6 +105,7 @@ let link_up t ~gid =
   if s.down then begin
     s.down <- false;
     (state t ~gid:(Port.gid (reverse_port t s.lport))).down <- false;
+    bump t (fun p -> p.c_up);
     note t ~node:(owner t s.lport) (Tracer.Link_up { gid })
   end
 
@@ -112,6 +150,10 @@ let reboot_switch t ~node ?down_for () =
     done);
   let flushed = Switch.reboot sw in
   (match find_dataplane t ~node with Some dp -> Dataplane.reset dp | None -> ());
+  bump t (fun p -> p.c_reboot);
+  (match t.probes with
+  | Some p -> Registry.add p.reg p.c_flushed flushed
+  | None -> ());
   flushed
 
 let faults_injected t =

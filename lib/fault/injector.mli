@@ -19,7 +19,11 @@
 
 type t
 
-val attach : ?tracer:Bfc_sim.Tracer.t -> Bfc_sim.Runner.env -> t
+(** With [?registry], the injector registers fault telemetry: counters
+    [fault_link_downs] / [fault_link_ups] / [fault_reboots] /
+    [fault_packets_flushed] and gauges [fault_links_down] /
+    [fault_packets_lost] (cumulative over managed ports). *)
+val attach : ?tracer:Bfc_sim.Tracer.t -> ?registry:Bfc_obs.Registry.t -> Bfc_sim.Runner.env -> t
 
 (** {2 Packet loss} *)
 

@@ -20,7 +20,9 @@ type t = {
   peer_port : int;
   mutable busy_until : Bfc_engine.Time.t;
   mutable tx_bytes : int;
+  mutable tx_packets : int;
   mutable on_idle : unit -> unit;
+  mutable on_tx : (Packet.t -> unit) option; (* telemetry tap *)
   mutable fault : Packet.t -> bool; (* fault injection: drop on the wire? *)
   mutable dropped : int;
   mutable wake : Bfc_engine.Sim.handle option; (* lazy idle wakeup *)
@@ -41,7 +43,9 @@ let create ~sim ~gid ~gbps ~prop ~peer ~peer_port =
     peer_port;
     busy_until = 0;
     tx_bytes = 0;
+    tx_packets = 0;
     on_idle = ignore;
+    on_tx = None;
     fault = (fun _ -> false);
     dropped = 0;
     wake = None;
@@ -66,7 +70,11 @@ let busy t = Bfc_engine.Sim.now t.sim < t.busy_until
 
 let tx_bytes t = t.tx_bytes
 
+let tx_packets t = t.tx_packets
+
 let set_on_idle t f = t.on_idle <- f
+
+let set_on_tx t f = t.on_tx <- Some f
 
 exception Busy of { gid : int; now : Bfc_engine.Time.t }
 
@@ -135,6 +143,8 @@ let send t pkt =
   let ser = Bfc_engine.Time.tx_time ~gbps:t.gbps ~bytes:pkt.Packet.size in
   t.busy_until <- now + ser;
   t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
+  t.tx_packets <- t.tx_packets + 1;
+  (match t.on_tx with None -> () | Some f -> f pkt);
   if t.fault pkt then t.dropped <- t.dropped + 1
   else schedule_delivery t pkt ~at:(now + ser + t.prop)
 

@@ -41,6 +41,14 @@ val busy : t -> bool
 (** Cumulative bytes serialized on this port (data path only). *)
 val tx_bytes : t -> int
 
+(** Cumulative packets serialized on this port (data path only). *)
+val tx_packets : t -> int
+
+(** Telemetry tap: [f pkt] runs at the start of every data-path
+    serialization (after the busy check, before fault injection). Default
+    is [ignore]; the observability layer uses this to record wire spans. *)
+val set_on_tx : t -> (Packet.t -> unit) -> unit
+
 (** Raised by [send] when the transmitter is already serializing a packet —
     a device scheduling bug. Carries the global port id and the simulation
     time at which the violation happened. *)

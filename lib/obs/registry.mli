@@ -1,0 +1,83 @@
+(** Telemetry registry: named counters, gauges and fixed-bucket histograms.
+
+    Probes resolve to preallocated slots at registration time and carry an
+    integer handle, so hot-path updates are a bounds-checked array store —
+    no allocation, no hashing, no string work. A registry created with
+    [~enabled:false] turns every update into a single-branch no-op, so
+    instrumented code can stay compiled in without perturbing the
+    zero-allocation event-engine hot path.
+
+    Registration is idempotent: asking for an existing name returns the
+    same handle (so independent subsystems can share a probe). All
+    enumeration functions return entries in registration order, which keeps
+    exported column orders stable across runs. *)
+
+type t
+
+type counter
+(** Handle to a monotonically increasing integer slot. *)
+
+type histogram
+(** Handle to a fixed-bucket histogram. *)
+
+val create : ?enabled:bool -> unit -> t
+(** A fresh registry; [enabled] defaults to [true]. *)
+
+val enabled : t -> bool
+
+(** {1 Counters} *)
+
+val counter : t -> string -> counter
+(** Register (or look up) a counter by name. *)
+
+val incr : t -> counter -> unit
+(** Add one. No-op on a disabled registry. *)
+
+val add : t -> counter -> int -> unit
+(** Add an arbitrary delta. No-op on a disabled registry. *)
+
+val value : t -> counter -> int
+
+val counters : t -> (string * int) list
+(** All counters, registration order. *)
+
+(** {1 Gauges} *)
+
+val gauge : t -> string -> (unit -> float) -> unit
+(** Register a sampled gauge: the closure is evaluated only when the
+    registry is read (series ticks, exports), never on the hot path.
+    Re-registering a name replaces its closure. *)
+
+val gauges : t -> (string * (unit -> float)) list
+(** All gauges, registration order (closures unevaluated). *)
+
+val sample_gauges : t -> (string * float) list
+(** Evaluate every gauge, registration order. On a disabled registry the
+    closures are not called and the list is empty. *)
+
+(** {1 Histograms} *)
+
+val histogram : t -> string -> edges:float array -> histogram
+(** Register a histogram with the given ascending bucket edges. A value [v]
+    lands in the first bucket [i] with [v < edges.(i)]; values
+    [>= edges.(n-1)] land in the overflow bucket, so counts have
+    [Array.length edges + 1] entries. Raises [Invalid_argument] on empty or
+    non-ascending edges, or if the name is already registered with
+    different edges. *)
+
+val observe : t -> histogram -> float -> unit
+(** Record a value. No-op on a disabled registry. *)
+
+val histogram_counts : t -> histogram -> int array
+(** Per-bucket counts (a copy; length = #edges + 1, last = overflow). *)
+
+val histogram_edges : t -> histogram -> float array
+
+val histograms : t -> (string * float array * int array) list
+(** (name, edges, counts), registration order. *)
+
+(** {1 Export} *)
+
+val to_json : t -> string
+(** The whole registry (counters, sampled gauges, histograms) as a JSON
+    object; key order is registration order. *)

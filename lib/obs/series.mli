@@ -1,0 +1,27 @@
+(** Time-series recorder: periodic snapshots of a registry's gauges.
+
+    The column set is frozen at {!create} (gauges registered later are not
+    recorded), so the CSV column order is stable for a given wiring order.
+    Driving the sampling clock is the caller's job — the simulator owns
+    time, this module owns storage — so call {!sample} from a ticker. *)
+
+type t
+
+val create : Registry.t -> t
+(** Snapshot the registry's current gauge list as the column set. *)
+
+val columns : t -> string list
+(** ["t_ns"] followed by the gauge names, in registration order. *)
+
+val sample : t -> now:int -> unit
+(** Evaluate every column gauge at simulated time [now] (ns) and append a
+    row. No-op (records nothing) when the registry is disabled. *)
+
+val n_samples : t -> int
+
+val rows : t -> (int * float array) list
+(** (t_ns, values) in sample order; values align with [columns] minus the
+    leading time column. *)
+
+val to_csv : t -> out_channel -> unit
+(** Header row then one line per sample. *)

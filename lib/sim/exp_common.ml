@@ -66,6 +66,7 @@ type std_setup = {
   sp_seed : int;
   sp_dur_mult : float;
   sp_params : Runner.params -> Runner.params;
+  sp_obs : Runner.env -> unit;
 }
 
 let std profile scheme =
@@ -81,6 +82,7 @@ let std profile scheme =
     sp_seed = 1;
     sp_dur_mult = 1.0;
     sp_params = (fun p -> p);
+    sp_obs = ignore;
   }
 
 type std_result = {
@@ -167,6 +169,7 @@ let run_std s =
     if s.sp_track_active then Some (Metrics.watch_active_flows env ~period:(Time.us 10.0))
     else None
   in
+  s.sp_obs env;
   Runner.inject env flows;
   Runner.run env ~until:dur;
   Runner.drain env ~budget:(8 * dur);

@@ -46,6 +46,9 @@ type std_setup = {
       (** scales the trace duration (high-load sweeps need longer traces to
           reach steady state) *)
   sp_params : Runner.params -> Runner.params; (** final tweak *)
+  sp_obs : Runner.env -> unit;
+      (** observability wiring, run after setup and metric watchers but
+          before flows are injected (attach {!Telemetry}/{!Tracer} here) *)
 }
 
 val std : profile -> Scheme.t -> std_setup

@@ -1,7 +1,13 @@
+(* The control-plane tracer, rebased onto the Bfc_obs.Trace ring: events
+   are stored as interned instants (pid = node id), so the same buffer that
+   feeds [events]/[render] exports to Perfetto via {!trace}. The public API
+   is unchanged from the pre-obs ring implementation. *)
+
 module Packet = Bfc_net.Packet
 module Node = Bfc_net.Node
 module Topology = Bfc_net.Topology
 module Switch = Bfc_switch.Switch
+module Trace = Bfc_obs.Trace
 
 type kind =
   | Pause_rx of { queue : int }
@@ -18,19 +24,67 @@ type kind =
 type event = { at : Bfc_engine.Time.t; node : int; ev : kind }
 
 type t = {
-  ring : event option array;
-  mutable next : int;
-  mutable observed : int;
+  tr : Trace.t;
+  id_pause : int;
+  id_resume : int;
+  id_bitmap : int;
+  id_pfc : int;
+  id_credit : int;
+  id_drop : int;
+  id_wdog : int;
+  id_linkdown : int;
+  id_linkup : int;
+  id_reboot : int;
 }
 
+let encode t = function
+  | Pause_rx { queue } -> (t.id_pause, queue, Trace.absent_arg)
+  | Resume_rx { queue } -> (t.id_resume, queue, Trace.absent_arg)
+  | Bitmap_rx { paused } -> (t.id_bitmap, paused, Trace.absent_arg)
+  | Pfc_rx { pause } -> (t.id_pfc, (if pause then 1 else 0), Trace.absent_arg)
+  | Hop_credit_rx { queue; bytes } -> (t.id_credit, queue, bytes)
+  | Dropped { flow } -> (t.id_drop, flow, Trace.absent_arg)
+  | Watchdog_fire { egress; queue } -> (t.id_wdog, egress, queue)
+  | Link_down { gid } -> (t.id_linkdown, gid, Trace.absent_arg)
+  | Link_up { gid } -> (t.id_linkup, gid, Trace.absent_arg)
+  | Rebooted { flushed } -> (t.id_reboot, flushed, Trace.absent_arg)
+
+let decode t ~name ~a ~b =
+  let arg = function Some v -> v | None -> 0 in
+  if name = t.id_pause then Pause_rx { queue = arg a }
+  else if name = t.id_resume then Resume_rx { queue = arg a }
+  else if name = t.id_bitmap then Bitmap_rx { paused = arg a }
+  else if name = t.id_pfc then Pfc_rx { pause = arg a = 1 }
+  else if name = t.id_credit then Hop_credit_rx { queue = arg a; bytes = arg b }
+  else if name = t.id_drop then Dropped { flow = arg a }
+  else if name = t.id_wdog then Watchdog_fire { egress = arg a; queue = arg b }
+  else if name = t.id_linkdown then Link_down { gid = arg a }
+  else if name = t.id_linkup then Link_up { gid = arg a }
+  else Rebooted { flushed = arg a }
+
 let record t at node ev =
-  t.ring.(t.next) <- Some { at; node; ev };
-  t.next <- (t.next + 1) mod Array.length t.ring;
-  t.observed <- t.observed + 1
+  let name, a, b = encode t ev in
+  Trace.instant t.tr ~ts:at ~name ~pid:node ~tid:0 ~a ~b ()
+
+let make ~capacity =
+  let tr = Trace.create ~capacity () in
+  {
+    tr;
+    id_pause = Trace.intern tr ~akey:"queue" "pause_rx";
+    id_resume = Trace.intern tr ~akey:"queue" "resume_rx";
+    id_bitmap = Trace.intern tr ~akey:"paused" "bitmap_rx";
+    id_pfc = Trace.intern tr ~akey:"pause" "pfc_rx";
+    id_credit = Trace.intern tr ~akey:"queue" ~bkey:"bytes" "hop_credit_rx";
+    id_drop = Trace.intern tr ~akey:"flow" "drop";
+    id_wdog = Trace.intern tr ~akey:"egress" ~bkey:"queue" "watchdog";
+    id_linkdown = Trace.intern tr ~akey:"gid" "link_down";
+    id_linkup = Trace.intern tr ~akey:"gid" "link_up";
+    id_reboot = Trace.intern tr ~akey:"flushed" "reboot";
+  }
 
 let attach env ~capacity =
   if capacity <= 0 then invalid_arg "Tracer.attach: capacity";
-  let t = { ring = Array.make capacity None; next = 0; observed = 0 } in
+  let t = make ~capacity in
   let topo = Runner.topo env in
   let sim = Runner.sim env in
   Array.iter
@@ -80,18 +134,15 @@ let attach env ~capacity =
 
 let note t env ~node ev = record t (Bfc_engine.Sim.now (Runner.sim env)) node ev
 
-let events t =
-  (* slot [t.next] holds the oldest event once the ring has wrapped *)
-  let n = Array.length t.ring in
-  let out = ref [] in
-  for i = n - 1 downto 0 do
-    match t.ring.((t.next + i) mod n) with
-    | Some e -> out := e :: !out
-    | None -> ()
-  done;
-  !out
+let trace t = t.tr
 
-let observed t = t.observed
+let events t =
+  let out = ref [] in
+  Trace.iter t.tr (fun ~ts ~dur:_ ~name ~pid ~tid:_ ~a ~b ->
+      out := { at = ts; node = pid; ev = decode t ~name ~a ~b } :: !out);
+  List.rev !out
+
+let observed t = Trace.recorded t.tr
 
 let count t ~pred = List.length (List.filter pred (events t))
 

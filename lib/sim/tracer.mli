@@ -45,3 +45,8 @@ val pause_balance : t -> (int * int * int) list
 
 (** Render a human-readable timeline of up to [limit] events. *)
 val render : ?limit:int -> t -> string
+
+(** The underlying trace ring (pid = node id, instants only). Export it
+    with {!Bfc_obs.Trace.to_chrome} for a Perfetto view of the control
+    plane. *)
+val trace : t -> Bfc_obs.Trace.t

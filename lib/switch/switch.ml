@@ -83,6 +83,7 @@ and hooks = {
   mutable admit : t -> egress:int -> queue:int -> Packet.t -> bool;
   mutable on_watchdog : t -> egress:int -> queue:int -> unit;
   mutable on_reboot : t -> flushed:int -> unit;
+  mutable on_queue_pause : t -> egress:int -> queue:int -> paused:bool -> unit;
 }
 
 let nop_classify _ ~in_port:_ ~egress:_ pkt =
@@ -100,6 +101,7 @@ let default_hooks () =
     admit = (fun _ ~egress:_ ~queue:_ _ -> true);
     on_watchdog = (fun _ ~egress:_ ~queue:_ -> ());
     on_reboot = (fun _ ~flushed:_ -> ());
+    on_queue_pause = (fun _ ~egress:_ ~queue:_ ~paused:_ -> ());
   }
 
 let hooks t = t.hk
@@ -234,6 +236,8 @@ let kick t ~egress = try_send t t.egresses.(egress)
    bitmap refreshes keep a legitimately-paused queue paused. *)
 let rec set_queue_paused t ~egress ~queue paused =
   let e = t.egresses.(egress) in
+  if e.equeues.(queue).Fifo.paused <> paused then
+    t.hk.on_queue_pause t ~egress ~queue ~paused;
   Sched.set_paused e.esched e.equeues.(queue) paused;
   e.ewd_epoch.(queue) <- e.ewd_epoch.(queue) + 1;
   if paused then begin
@@ -292,6 +296,7 @@ let pfc_unpause t e =
   e.epfc_paused <- false;
   e.epfc_total <- e.epfc_total + (Sim.now t.sim - e.epfc_since);
   e.epfc_epoch <- e.epfc_epoch + 1;
+  t.hk.on_queue_pause t ~egress:e.eidx ~queue:(-1) ~paused:false;
   try_send t e
 
 let arm_pfc_watchdog t e =
@@ -314,6 +319,7 @@ let handle_pfc t ~in_port pkt =
     e.epfc_paused <- true;
     e.epfc_since <- Sim.now t.sim;
     e.epfc_epoch <- e.epfc_epoch + 1;
+    t.hk.on_queue_pause t ~egress:e.eidx ~queue:(-1) ~paused:true;
     arm_pfc_watchdog t e
   end
   else if (not pause) && e.epfc_paused then pfc_unpause t e
@@ -388,6 +394,18 @@ let reboots t = t.reboot_count
 let watchdog_fires t = t.watchdog_fires
 
 let queue_paused t ~egress ~queue = t.egresses.(egress).equeues.(queue).Fifo.paused
+
+(* Telemetry gauge: paused queues across every egress (PFC-paused ports
+   count as one each). Walks the queue arrays; called per sample tick, not
+   per packet. *)
+let paused_queues t =
+  let n = ref 0 in
+  Array.iter
+    (fun e ->
+      if e.epfc_paused then incr n;
+      Array.iter (fun q -> if q.Fifo.paused then incr n) e.equeues)
+    t.egresses;
+  !n
 
 let queue_paused_since t ~egress ~queue =
   let since = t.egresses.(egress).ewd_since.(queue) in

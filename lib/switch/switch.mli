@@ -58,6 +58,11 @@ type hooks = {
   mutable on_reboot : t -> flushed:int -> unit;
       (** fires at the end of {!reboot}, after all state is flushed (the
           attached dataplane program and auditors resync here) *)
+  mutable on_queue_pause : t -> egress:int -> queue:int -> paused:bool -> unit;
+      (** fires on every pause-state {e transition} of an egress queue
+          ([queue = -1] for a PFC port-level pause); repeated assertions
+          (bitmap refreshes) do not re-fire. The observability layer turns
+          these into pause/resume spans *)
 }
 
 (** [create ~sim ~node ~config ~route] attaches a switch device to [node].
@@ -161,6 +166,11 @@ val reboots : t -> int
 val watchdog_fires : t -> int
 
 val queue_paused : t -> egress:int -> queue:int -> bool
+
+(** Number of currently paused queues across all egresses (each PFC-paused
+    port counts as one). A telemetry gauge: walks the queue arrays, so call
+    it per sample tick, not per packet. *)
+val paused_queues : t -> int
 
 (** Sim time at which the queue was last paused, [None] if not paused. *)
 val queue_paused_since : t -> egress:int -> queue:int -> Bfc_engine.Time.t option

@@ -22,6 +22,7 @@ type t = {
   wd_epoch : int array; (* invalidates scheduled per-queue watchdog checks *)
   mutable pfc_epoch : int;
   mutable watchdog_fires : int;
+  mutable on_pause : queue:int -> paused:bool -> unit; (* telemetry tap *)
 }
 
 let rec create ~sim ~port ~n_queues ~policy ~respect_pause ?pause_watchdog ?credit () =
@@ -46,6 +47,7 @@ let rec create ~sim ~port ~n_queues ~policy ~respect_pause ?pause_watchdog ?cred
       wd_epoch = Array.make n_queues 0;
       pfc_epoch = 0;
       watchdog_fires = 0;
+      on_pause = (fun ~queue:_ ~paused:_ -> ());
     }
   in
   Port.set_on_idle port (fun () -> try_send t);
@@ -100,6 +102,7 @@ let arm_queue_watchdog t queue =
              t.watchdog_fires <- t.watchdog_fires + 1;
              t.wd_epoch.(queue) <- t.wd_epoch.(queue) + 1;
              t.ctrl_paused.(queue) <- false;
+             t.on_pause ~queue ~paused:false;
              if not (credit_starved t queue) then begin
                Sched.set_paused t.sched t.queues.(queue) false;
                try_send t
@@ -110,6 +113,7 @@ let arm_queue_watchdog t queue =
    refreshes) re-arms the watchdog deadline. *)
 let set_ctrl_paused t ~queue paused =
   t.wd_epoch.(queue) <- t.wd_epoch.(queue) + 1;
+  if t.ctrl_paused.(queue) <> paused then t.on_pause ~queue ~paused;
   t.ctrl_paused.(queue) <- paused;
   Sched.set_paused t.sched t.queues.(queue) paused;
   if paused then arm_queue_watchdog t queue else try_send t
@@ -125,6 +129,7 @@ let arm_pfc_watchdog t =
              t.watchdog_fires <- t.watchdog_fires + 1;
              t.pfc_epoch <- t.pfc_epoch + 1;
              t.pfc_paused <- false;
+             t.on_pause ~queue:(-1) ~paused:false;
              try_send t
            end))
 
@@ -174,9 +179,18 @@ let queue_bytes t ~queue = t.queues.(queue).Fifo.bytes
 
 let queue_paused t ~queue = t.queues.(queue).Fifo.paused
 
+(* Telemetry gauge: currently paused queues (including credit-gated ones;
+   the PFC-paused uplink counts as one more). Sample-tick cost only. *)
+let paused_queues t =
+  let n = ref (if t.pfc_paused then 1 else 0) in
+  Array.iter (fun q -> if q.Fifo.paused then incr n) t.queues;
+  !n
+
 let backlog t = t.backlog
 
 let set_on_dequeue t f = t.on_dequeue <- f
+
+let set_on_pause t f = t.on_pause <- f
 
 let on_ctrl t pkt =
   match pkt.Packet.kind with
@@ -185,10 +199,12 @@ let on_ctrl t pkt =
     if t.pfc_paused && not pause then begin
       t.pfc_epoch <- t.pfc_epoch + 1;
       t.pfc_paused <- false;
+      t.on_pause ~queue:(-1) ~paused:false;
       try_send t
     end
     else if pause then begin
       t.pfc_epoch <- t.pfc_epoch + 1;
+      if not t.pfc_paused then t.on_pause ~queue:(-1) ~paused:true;
       t.pfc_paused <- true;
       arm_pfc_watchdog t
     end

@@ -60,5 +60,17 @@ val on_ctrl : t -> Bfc_net.Packet.t -> unit
     (drives window/line-rate refill). *)
 val set_on_dequeue : t -> (int -> unit) -> unit
 
+(** Telemetry tap: fires on every {e ctrl-frame} pause-state transition of
+    a data queue ([queue = -1] for PFC pause of the whole uplink),
+    including watchdog force-resumes. Credit-gate openings/closings (the
+    lossless variant) are not reported — no Pause/Resume is exchanged for
+    them. *)
+val set_on_pause : t -> (queue:int -> paused:bool -> unit) -> unit
+
+(** Currently paused queues (credit-gated included; a PFC-paused uplink
+    adds one). Walks the queue array — a sample-tick gauge, not a
+    per-packet probe. *)
+val paused_queues : t -> int
+
 (** Times the pause watchdog force-resumed a queue or the uplink. *)
 val watchdog_fires : t -> int

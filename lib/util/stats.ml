@@ -28,7 +28,11 @@ module Sample = struct
     | Some s -> s
     | None ->
       let s = Array.sub t.data 0 t.size in
-      Array.sort compare s;
+      (* Float.compare, not polymorphic compare: monomorphic (no boxing
+         dispatch per comparison) and totally ordered on NaN, so a stray
+         NaN sample cannot corrupt the sort order the percentile lookups
+         rely on. *)
+      Array.sort Float.compare s;
       t.sorted <- Some s;
       s
 

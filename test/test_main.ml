@@ -16,4 +16,5 @@ let () =
       ("fault", Test_fault.suite);
       ("lint", Test_lint.suite);
       ("perf", Test_perf.suite);
+      ("obs", Test_obs.suite);
     ]
