@@ -1,12 +1,20 @@
 type entry = { mutable q : int; mutable size : int; mutable last : Bfc_engine.Time.t }
 
-type t = { slots : int; tables : entry array array }
+type t = { slots : int; fmask : int; tables : entry array array }
 
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+(* Slot count is rounded up to a power of two so the per-packet [entry]
+   lookup is a mask instead of a hardware division ([Flow.hash] already
+   mixes the id through a splitmix64 finalizer, so the low bits are as
+   good as a modulus). The paper only requires "a large multiple of the
+   queue count"; rounding up strictly lowers the collision rate. *)
 let create ~egresses ~queues_per_port ~mult =
   if egresses < 0 || queues_per_port <= 0 || mult <= 0 then invalid_arg "Flow_table.create";
-  let slots = queues_per_port * mult in
+  let slots = next_pow2 (queues_per_port * mult) 1 in
   {
     slots;
+    fmask = slots - 1;
     tables =
       Array.init egresses (fun _ -> Array.init slots (fun _ -> { q = -1; size = 0; last = min_int }));
   }
@@ -15,7 +23,7 @@ let slots_per_port t = t.slots
 
 let total_slots t = Array.length t.tables * t.slots
 
-let entry t ~egress ~fid_hash = t.tables.(egress).(fid_hash mod t.slots)
+let entry t ~egress ~fid_hash = t.tables.(egress).(fid_hash land t.fmask)
 
 let occupied t ~egress =
   Array.fold_left (fun acc e -> if e.size > 0 then acc + 1 else acc) 0 t.tables.(egress)

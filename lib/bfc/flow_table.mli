@@ -15,7 +15,8 @@ type entry = {
 type t
 
 (** [create ~egresses ~queues_per_port ~mult] — [mult x queues_per_port]
-    slots per egress. *)
+    slots per egress, rounded up to the next power of two so the
+    per-packet {!entry} lookup is a bit-mask rather than a division. *)
 val create : egresses:int -> queues_per_port:int -> mult:int -> t
 
 val slots_per_port : t -> int

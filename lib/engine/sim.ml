@@ -1,10 +1,26 @@
+(* The pending-event queue is backend-selectable: the 4-ary heap
+   ([Bfc_util.Heap], O(log n)) or the hierarchical timing wheel
+   ([Bfc_util.Wheel], amortized O(1)). Both order entries by strict
+   (time, insertion-seq), so the two backends replay byte-identical
+   schedules; the wheel is the default because the engine's event mix is
+   dominated by short-horizon reusable rearms (see bench --macro /
+   --sched A/B in BENCH_engine.json).
+
+   The only observable divergence is tombstone handling: the heap pops
+   every cancelled entry (a no-op step that still advances the clock),
+   while the wheel purges tombstones that cascade before reaching level
+   0. Purged tombstones can only affect where the clock coasts to after
+   the last live event — never the order or timing of executed events. *)
+
+type sched = Heap | Wheel
+
 type t = {
   mutable clock : Time.t;
-  heap : handle Bfc_util.Heap.t;
+  q : queue;
   mutable live : int; (* scheduled, not yet fired, not cancelled *)
   mutable executed : int;
   mutable next_uid : int;
-  (* self-profiling: per-event-class execution counts, heap-depth
+  (* self-profiling: per-event-class execution counts, queue-depth
      high-water mark and handle-reuse stats. Plain int stores, cheap
      enough to keep on unconditionally (see bench --macro). *)
   exec_by_class : int array; (* indexed by handle class *)
@@ -12,6 +28,10 @@ type t = {
   mutable rearms : int;
   mutable cancels : int;
 }
+
+and queue =
+  | Q_heap of handle Bfc_util.Heap.t
+  | Q_wheel of handle Bfc_util.Wheel.t
 
 and handle = {
   owner : t;
@@ -41,10 +61,52 @@ type profile = {
   p_live : int;
 }
 
-let create () =
+(* Process-wide default backend, same pattern as [Pool.set_default_jobs]:
+   harnesses (bench A/B, differential tests) flip it around experiment
+   code that calls [create ()] deep inside. *)
+let default_sched_ref = ref Wheel
+
+let set_default_sched s = default_sched_ref := s
+
+let default_sched () = !default_sched_ref
+
+(* --- the single dispatch point between the two backends --- *)
+
+let q_push q ~priority h =
+  match q with
+  | Q_heap hp -> Bfc_util.Heap.push hp ~priority h
+  | Q_wheel w -> Bfc_util.Wheel.push w ~priority h
+
+(* Deadline of the head entry, or -1 when the queue is empty (event
+   times are non-negative). *)
+let q_head_time q =
+  match q with
+  | Q_heap hp -> if Bfc_util.Heap.is_empty hp then -1 else Bfc_util.Heap.peek_priority hp
+  | Q_wheel w -> Bfc_util.Wheel.head_time w
+
+let q_pop q =
+  match q with
+  | Q_heap hp -> Bfc_util.Heap.pop_min_exn hp
+  | Q_wheel w -> Bfc_util.Wheel.pop_min_exn w
+
+let q_length q =
+  match q with Q_heap hp -> Bfc_util.Heap.length hp | Q_wheel w -> Bfc_util.Wheel.length w
+
+let q_is_empty q =
+  match q with Q_heap hp -> Bfc_util.Heap.is_empty hp | Q_wheel w -> Bfc_util.Wheel.is_empty w
+
+let q_capacity q =
+  match q with Q_heap hp -> Bfc_util.Heap.capacity hp | Q_wheel w -> Bfc_util.Wheel.capacity w
+
+let create ?sched () =
+  let q =
+    match match sched with Some s -> s | None -> !default_sched_ref with
+    | Heap -> Q_heap (Bfc_util.Heap.create ())
+    | Wheel -> Q_wheel (Bfc_util.Wheel.create ~garbage:(fun h -> not h.alive) ())
+  in
   {
     clock = 0;
-    heap = Bfc_util.Heap.create ();
+    q;
     live = 0;
     executed = 0;
     next_uid = 0;
@@ -54,6 +116,8 @@ let create () =
     cancels = 0;
   }
 
+let sched t = match t.q with Q_heap _ -> Heap | Q_wheel _ -> Wheel
+
 let now t = t.clock
 
 let fresh_uid t =
@@ -61,16 +125,16 @@ let fresh_uid t =
   t.next_uid <- u + 1;
   u
 
-(* Heap-depth high-water mark, maintained at every push point. *)
+(* Queue-depth high-water mark, maintained at every push point. *)
 let note_depth t =
-  let d = Bfc_util.Heap.length t.heap in
+  let d = q_length t.q in
   if d > t.heap_hwm then t.heap_hwm <- d
 
 let at t time fn =
   if time < t.clock then
     invalid_arg (Printf.sprintf "Sim.at: scheduling in the past (%d < %d)" time t.clock);
   let h = { owner = t; cls = cls_one_shot; alive = true; fired = false; fn } in
-  Bfc_util.Heap.push t.heap ~priority:time h;
+  q_push t.q ~priority:time h;
   note_depth t;
   t.live <- t.live + 1;
   h
@@ -78,9 +142,9 @@ let at t time fn =
 let after t delay fn = at t (t.clock + max 0 delay) fn
 
 (* Reusable handles: [make_handle] builds an unarmed handle once; [rearm]
-   puts it back in the heap. Steady-state periodic or chained events (port
+   puts it back in the queue. Steady-state periodic or chained events (port
    wakeups, in-flight deliveries) allocate nothing per occurrence. A handle
-   that was [cancel]led while armed still has a stale heap entry and must
+   that was [cancel]led while armed still has a stale queue entry and must
    not be rearmed before its original deadline passes — the engine's own
    users (Port) never cancel reusable handles. *)
 let make_handle t fn = { owner = t; cls = cls_reusable; alive = false; fired = false; fn }
@@ -92,7 +156,7 @@ let rearm h ~at:time =
     invalid_arg (Printf.sprintf "Sim.rearm: scheduling in the past (%d < %d)" time t.clock);
   h.alive <- true;
   h.fired <- false;
-  Bfc_util.Heap.push t.heap ~priority:time h;
+  q_push t.q ~priority:time h;
   note_depth t;
   t.live <- t.live + 1;
   t.rearms <- t.rearms + 1
@@ -109,7 +173,7 @@ let pending h = h.alive && not h.fired
 (* The ticker owns a single handle for its whole life: after each tick it
    resets [fired] and pushes the same handle back, so a steady-state ticker
    allocates nothing per period. [stop_ticker] can then cancel the armed
-   handle outright instead of leaving a live closure in the heap until its
+   handle outright instead of leaving a live closure in the queue until its
    deadline. *)
 let every t ~period fn =
   let rec tick = { running = true; tick_handle = h }
@@ -125,14 +189,14 @@ let every t ~period fn =
             fn ();
             if tick.running then begin
               h.fired <- false;
-              Bfc_util.Heap.push t.heap ~priority:(t.clock + period) h;
+              q_push t.q ~priority:(t.clock + period) h;
               note_depth t;
               t.live <- t.live + 1
             end
           end);
     }
   in
-  Bfc_util.Heap.push t.heap ~priority:(t.clock + period) h;
+  q_push t.q ~priority:(t.clock + period) h;
   note_depth t;
   t.live <- t.live + 1;
   tick
@@ -144,10 +208,10 @@ let stop_ticker tick =
   end
 
 let step t =
-  if Bfc_util.Heap.is_empty t.heap then false
+  let time = q_head_time t.q in
+  if time < 0 then false
   else begin
-    let time = Bfc_util.Heap.peek_priority t.heap in
-    let h = Bfc_util.Heap.pop_min_exn t.heap in
+    let h = q_pop t.q in
     t.clock <- time;
     if h.alive && not h.fired then begin
       h.fired <- true;
@@ -164,11 +228,9 @@ let run t ~until =
   let executed = ref 0 in
   let continue = ref true in
   while !continue do
-    if Bfc_util.Heap.is_empty t.heap then continue := false
-    else if Bfc_util.Heap.peek_priority t.heap <= until then begin
-      if step t then incr executed
-    end
-    else continue := false
+    let head = q_head_time t.q in
+    if head < 0 || head > until then continue := false
+    else if step t then incr executed
   done;
   if t.clock < until then t.clock <- until;
   !executed
@@ -187,7 +249,9 @@ let () =
 
 let run_until_idle ?(cap = safety_cap) t =
   let executed = ref 0 in
-  while not (Bfc_util.Heap.is_empty t.heap) do
+  (* [step] can return false without popping when a wheel cascade purges
+     the last tombstones, so re-check emptiness each iteration. *)
+  while not (q_is_empty t.q) do
     if step t then incr executed;
     if !executed > cap then raise (Runaway { now = t.clock; pending_events = t.live })
   done;
@@ -203,7 +267,7 @@ let profile t =
     p_reusable = t.exec_by_class.(cls_reusable);
     p_ticker = t.exec_by_class.(cls_ticker);
     p_heap_hwm = t.heap_hwm;
-    p_heap_capacity = Bfc_util.Heap.capacity t.heap;
+    p_heap_capacity = q_capacity t.q;
     p_rearms = t.rearms;
     p_cancels = t.cancels;
     p_executed = t.executed;

@@ -1,6 +1,6 @@
 (** The discrete-event simulation core.
 
-    A [Sim.t] owns the virtual clock and the pending-event heap. Components
+    A [Sim.t] owns the virtual clock and the pending-event queue. Components
     schedule closures at absolute or relative times; [run] executes events in
     time order (FIFO among simultaneous events) until the horizon or until
     the event set drains. *)
@@ -9,9 +9,31 @@ type t
 
 type handle
 (** A scheduled event that can be cancelled. Cancellation is O(1): the event
-    stays in the heap but becomes a no-op. *)
+    stays in the queue but becomes a no-op. *)
 
-val create : unit -> t
+(** The pending-event queue backend: the 4-ary min-heap
+    ({!Bfc_util.Heap}, O(log n)) or the hierarchical timing wheel
+    ({!Bfc_util.Wheel}, amortized O(1)). Both pop in strict
+    (time, insertion order), so event execution is byte-identical across
+    backends; [Wheel] is the default and the faster one on the engine's
+    rearm-dominated event mix (see BENCH_engine.json). *)
+type sched = Heap | Wheel
+
+val create : ?sched:sched -> unit -> t
+(** [create ()] uses the process-wide default backend
+    ({!default_sched}); pass [~sched] to pin one explicitly. *)
+
+val set_default_sched : sched -> unit
+(** Set the backend used by [create ()] calls that don't pass [~sched]
+    — the hook bench A/B runs and differential tests use to drive
+    experiment code that creates its own sims. Not domain-safe: set it
+    before spawning worker domains (same contract as
+    [Pool.set_default_jobs]). *)
+
+val default_sched : unit -> sched
+
+val sched : t -> sched
+(** The backend this sim was created with. *)
 
 (** Current virtual time. *)
 val now : t -> Time.t
@@ -41,7 +63,7 @@ val make_handle : t -> (unit -> unit) -> handle
 
 (** [rearm h ~at] schedules an unarmed reusable handle at absolute time
     [at]. Raises [Invalid_argument] if [h] is still armed or [at] is in the
-    past. A handle [cancel]led while armed leaves a stale heap entry behind
+    past. A handle [cancel]led while armed leaves a stale queue entry behind
     and must not be rearmed until that deadline has passed. *)
 val rearm : handle -> at:Time.t -> unit
 
@@ -59,8 +81,8 @@ val every : t -> period:Time.t -> (unit -> unit) -> ticker
 val stop_ticker : ticker -> unit
 
 (** [run t ~until] processes events until the clock passes [until] or the
-    heap drains. Returns the number of events executed. The clock is left at
-    [until] (or at the last event time if the heap drained first). *)
+    queue drains. Returns the number of events executed. The clock is left at
+    [until] (or at the last event time if the queue drained first). *)
 val run : t -> until:Time.t -> int
 
 (** Raised by [run_until_idle] when the event count exceeds the safety cap:
@@ -82,16 +104,17 @@ val pending_events : t -> int
 val executed_events : t -> int
 
 (** Engine self-profile: how the event load decomposes and how hard the
-    heap and the handle-reuse machinery are working. Maintained
+    event queue and the handle-reuse machinery are working. Maintained
     unconditionally (plain int stores per event); read it at any point.
 
     - [p_one_shot] / [p_reusable] / [p_ticker]: events executed per class —
       fresh [at]/[after] closures, reusable handles ([make_handle] +
       {!rearm}: port wakeups, pooled deliveries), and {!every} ticks.
       A healthy hot path executes mostly reusable events.
-    - [p_heap_hwm]: deepest the pending-event heap ever got (backlog
-      high-water mark); [p_heap_capacity] is the backing-array size it
-      grew to.
+    - [p_heap_hwm]: deepest the pending-event queue ever got (backlog
+      high-water mark, whichever backend); [p_heap_capacity] is the
+      backing storage it grew to (heap array slots, or total wheel
+      bucket slots).
     - [p_rearms]: handle re-armings — every one is an allocation avoided.
     - [p_cancels]: cancellations (each leaves a tombstone until its
       deadline). *)

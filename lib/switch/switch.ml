@@ -48,7 +48,7 @@ type egress = {
   mutable epfc_epoch : int; (* invalidates scheduled PFC watchdog checks *)
   ewd_since : Bfc_engine.Time.t array; (* per queue: pause start, -1 = not paused *)
   ewd_epoch : int array; (* invalidates scheduled per-queue watchdog checks *)
-  eflows : (int, int ref) Hashtbl.t; (* flow id -> queued pkts, if tracking *)
+  eflows : Bfc_util.Int_table.Counter.t; (* flow id -> queued pkts, if tracking *)
 }
 
 type t = {
@@ -157,7 +157,7 @@ let pfc_paused_ns t ~egress =
   let e = t.egresses.(egress) in
   e.epfc_total + if e.epfc_paused then Sim.now t.sim - e.epfc_since else 0
 
-let active_flows t ~egress = Hashtbl.length t.egresses.(egress).eflows
+let active_flows t ~egress = Bfc_util.Int_table.Counter.length t.egresses.(egress).eflows
 
 let send_ctrl t ~egress pkt = Port.send_ctrl t.egresses.(egress).eport pkt
 
@@ -167,22 +167,12 @@ let send_ctrl t ~egress pkt = Port.send_ctrl t.egresses.(egress).eport pkt
 let flow_track_add e pkt =
   match pkt.Packet.flow with
   | None -> ()
-  | Some f -> (
-    let id = f.Bfc_net.Flow.id in
-    match Hashtbl.find_opt e.eflows id with
-    | Some r -> incr r
-    | None -> Hashtbl.add e.eflows id (ref 1))
+  | Some f -> Bfc_util.Int_table.Counter.incr e.eflows f.Bfc_net.Flow.id
 
 let flow_track_remove e pkt =
   match pkt.Packet.flow with
   | None -> ()
-  | Some f -> (
-    let id = f.Bfc_net.Flow.id in
-    match Hashtbl.find_opt e.eflows id with
-    | Some r ->
-      decr r;
-      if !r <= 0 then Hashtbl.remove e.eflows id
-    | None -> ())
+  | Some f -> Bfc_util.Int_table.Counter.decr e.eflows f.Bfc_net.Flow.id
 
 let pfc_check_resume t in_port =
   match t.cfg.pfc with
@@ -381,7 +371,7 @@ let reboot t =
       for q = 0 to Array.length e.ewd_epoch - 1 do
         e.ewd_epoch.(q) <- e.ewd_epoch.(q) + 1
       done;
-      Hashtbl.reset e.eflows)
+      Bfc_util.Int_table.Counter.reset e.eflows)
     t.egresses;
   Buffer.reset t.buffer;
   Array.fill t.pfc_sent 0 (Array.length t.pfc_sent) false;
@@ -448,7 +438,7 @@ let create ~sim ~node ~ports ~config:cfg ?pool ~route () =
           epfc_epoch = 0;
           ewd_since = Array.make cfg.queues_per_port (-1);
           ewd_epoch = Array.make cfg.queues_per_port 0;
-          eflows = Hashtbl.create 64;
+          eflows = Bfc_util.Int_table.Counter.create ~size:64 ();
         })
       ports
   in

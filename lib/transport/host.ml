@@ -102,8 +102,8 @@ type t = {
   cfg : config;
   pool : Packet.Pool.t option;
   nic : Nic.t;
-  txs : (int, tx) Hashtbl.t;
-  rxs : (int, rx) Hashtbl.t;
+  txs : tx Bfc_util.Int_table.t; (* flow id -> sender state, flat probe per packet *)
+  rxs : rx Bfc_util.Int_table.t;
   homa_recv : Homa.Receiver.t option;
   mutable complete_cb : Flow.t -> unit;
   owners : tx list ref array; (* per NIC queue: window-based flows to pump *)
@@ -342,9 +342,9 @@ let finish_tx t tx =
 (* ACK / NACK / grant / credit handling (sender side)                   *)
 
 let on_ack t pkt =
-  match Hashtbl.find_opt t.txs (Packet.flow_id pkt) with
-  | None -> ()
-  | Some tx ->
+  match Bfc_util.Int_table.find_exn t.txs (Packet.flow_id pkt) with
+  | exception Not_found -> ()
+  | tx ->
     if not tx.finished then begin
       let prev = tx.snd_una in
       if pkt.Packet.seq > tx.snd_una then begin
@@ -373,9 +373,9 @@ let on_ack t pkt =
     end
 
 let on_nack t pkt =
-  match Hashtbl.find_opt t.txs (Packet.flow_id pkt) with
-  | None -> ()
-  | Some tx ->
+  match Bfc_util.Int_table.find_exn t.txs (Packet.flow_id pkt) with
+  | exception Not_found -> ()
+  | tx ->
     if (not tx.finished) && pkt.Packet.seq >= tx.snd_una && pkt.Packet.seq < tx.snd_nxt then begin
       t.bytes_retransmitted <- t.bytes_retransmitted + (tx.snd_nxt - pkt.Packet.seq);
       tx.snd_nxt <- pkt.Packet.seq;
@@ -384,9 +384,9 @@ let on_nack t pkt =
     end
 
 let on_grant t pkt =
-  match Hashtbl.find_opt t.txs (Packet.flow_id pkt) with
-  | None -> ()
-  | Some tx ->
+  match Bfc_util.Int_table.find_exn t.txs (Packet.flow_id pkt) with
+  | exception Not_found -> ()
+  | tx ->
     if pkt.Packet.ctrl_a > tx.granted then begin
       tx.granted <- pkt.Packet.ctrl_a;
       tx.grant_prio <- pkt.Packet.ctrl_b;
@@ -403,9 +403,9 @@ let on_grant t pkt =
     end
 
 let on_credit t pkt =
-  match Hashtbl.find_opt t.txs (Packet.flow_id pkt) with
-  | None -> ()
-  | Some tx ->
+  match Bfc_util.Int_table.find_exn t.txs (Packet.flow_id pkt) with
+  | exception Not_found -> ()
+  | tx ->
     if (not tx.finished) && tx.snd_nxt < tx.flow.Flow.size then begin
       let len = min t.cfg.mtu (tx.flow.Flow.size - tx.snd_nxt) in
       let p = make_data t tx ~seq:tx.snd_nxt ~len in
@@ -416,14 +416,14 @@ let on_credit t pkt =
     end
 
 let on_cnp t pkt =
-  match Hashtbl.find_opt t.txs (Packet.flow_id pkt) with
-  | None -> ()
-  | Some tx -> ( match tx.cc with Cc_dcqcn d -> Dcqcn.on_cnp d | _ -> ())
+  match Bfc_util.Int_table.find_exn t.txs (Packet.flow_id pkt) with
+  | exception Not_found -> ()
+  | tx -> ( match tx.cc with Cc_dcqcn d -> Dcqcn.on_cnp d | _ -> ())
 
 let on_drop_notice t ~flow_id ~seq ~len =
-  match Hashtbl.find_opt t.txs flow_id with
-  | None -> ()
-  | Some tx ->
+  match Bfc_util.Int_table.find_exn t.txs flow_id with
+  | exception Not_found -> ()
+  | tx ->
     if not tx.finished then begin
       tx.rtx <- List.merge compare [ (seq, seq + len) ] tx.rtx;
       t.bytes_retransmitted <- t.bytes_retransmitted + len;
@@ -457,9 +457,9 @@ let insert_range rx ~start ~stop =
 let covered rx = rx.expected
 
 let get_rx t flow =
-  match Hashtbl.find_opt t.rxs flow.Flow.id with
-  | Some rx -> rx
-  | None ->
+  match Bfc_util.Int_table.find_exn t.rxs flow.Flow.id with
+  | rx -> rx
+  | exception Not_found ->
     let rx =
       {
         rflow = flow;
@@ -477,7 +477,7 @@ let get_rx t flow =
         cr_stop = false;
       }
     in
-    Hashtbl.add t.rxs flow.Flow.id rx;
+    Bfc_util.Int_table.set t.rxs flow.Flow.id rx;
     rx
 
 let send_ctrl_pkt t kind ~flow ~dst ~size ~seq =
@@ -699,7 +699,7 @@ let start_flow t flow =
       retransmitted = 0;
     }
   in
-  Hashtbl.replace t.txs flow.Flow.id tx;
+  Bfc_util.Int_table.set t.txs flow.Flow.id tx;
   if nic_q >= 1 && is_window_based tx then t.owners.(nic_q) := tx :: !(t.owners.(nic_q));
   arm_rto t tx;
   (match t.cfg.scheme with
@@ -742,8 +742,8 @@ let create ~sim ~node ~port ~config:cfg ?pool () =
       cfg;
       pool;
       nic;
-      txs = Hashtbl.create 64;
-      rxs = Hashtbl.create 64;
+      txs = Bfc_util.Int_table.create ~size:64 ();
+      rxs = Bfc_util.Int_table.create ~size:64 ();
       homa_recv;
       complete_cb = ignore;
       owners = Array.init cfg.nic_queues (fun _ -> ref []);

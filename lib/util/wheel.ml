@@ -1,0 +1,238 @@
+(* Hierarchical timing wheel (Varghese & Lauck), the O(1) alternative to
+   the binary/4-ary heap for the simulator's event mix: almost every event
+   is a short-horizon rearm (port wakeups, in-flight deliveries), which a
+   heap pays O(log n) to push and pop while a wheel pays a digit split and
+   an array append.
+
+   Layout: [levels] wheels of [bsize] buckets each; level [l]'s buckets
+   span [bsize^l] ticks, so the hierarchy covers the whole non-negative
+   int range. An entry lives at the level of the most-significant base-
+   [bsize] digit in which its deadline differs from the cursor ([wnow]);
+   when the cursor enters a higher-level bucket the bucket cascades: its
+   entries are re-dealt into the levels below. A level-0 bucket therefore
+   holds entries of exactly one deadline.
+
+   Ordering contract (what makes a wheel run byte-identical to the heap):
+   pops come out in strict (time, insertion-seq) order. No sorting is
+   needed to maintain it — same-time entries share every digit, so they
+   sit in the same bucket at every level, are appended in push order, and
+   cascades preserve bucket order. The one exception is a push below the
+   cursor (legal down to the last popped time: [Sim.run ~until] can park
+   the cursor on a far-future event and then admit new near-term work
+   between runs); those are placed into the cursor bucket by an explicit
+   sorted insert.
+
+   Cancellation is lazy: the wheel never searches for an entry. The
+   optional [garbage] predicate lets the owner mark entries dead
+   (e.g. cancelled simulation events); a cascade drops dead entries
+   instead of re-dealing them, so tombstones cost one bucket slot until
+   the next cascade sweeps them, never a re-insertion.
+
+   Buckets are parallel int arrays (time, seq) plus a value array, grown
+   geometrically and reused forever — steady-state push/pop allocates
+   nothing. Index arithmetic inside the scan loops is derived from
+   [bsize]-bounded cursors, so it uses unsafe accessors like Heap. *)
+
+let bits = 8
+
+let bsize = 1 lsl bits (* buckets per level *)
+
+let bmask = bsize - 1
+
+(* 8 levels x 8 bits = 64 bits: deadlines up to max_int are representable
+   (digits above the top level are always zero for OCaml's 63-bit ints). *)
+let levels = 8
+
+type 'a bucket = {
+  mutable bt : int array; (* absolute deadlines *)
+  mutable bs : int array; (* global insertion sequence numbers *)
+  mutable bv : 'a array;
+  mutable blen : int;
+}
+
+type 'a t = {
+  lv : 'a bucket array array; (* lv.(level).(slot) *)
+  l0 : 'a bucket array; (* alias of lv.(0), the hot level *)
+  garbage : 'a -> bool;
+  mutable wnow : int; (* deadline of the bucket under the cursor *)
+  mutable ci : int; (* pop cursor inside the current level-0 bucket *)
+  mutable size : int; (* resident entries, including unpurged garbage *)
+  mutable next_seq : int;
+  mutable cap : int; (* total allocated bucket slots, for profiling *)
+}
+
+exception Empty
+
+let () =
+  Printexc.register_printer (function
+    | Empty -> Some "Wheel.Empty (pop on an empty wheel)"
+    | _ -> None)
+
+let create ?(garbage = fun _ -> false) () =
+  let lv =
+    Array.init levels (fun _ ->
+        Array.init bsize (fun _ -> { bt = [||]; bs = [||]; bv = [||]; blen = 0 }))
+  in
+  { lv; l0 = lv.(0); garbage; wnow = 0; ci = 0; size = 0; next_seq = 0; cap = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let capacity t = t.cap
+
+(* The level of the most-significant base-[bsize] digit in which [time]
+   and the cursor differ; 0 when they agree everywhere (time = wnow). *)
+let level_for t time =
+  let l = ref 0 in
+  while
+    !l < levels - 1 && time lsr ((!l + 1) * bits) <> t.wnow lsr ((!l + 1) * bits)
+  do
+    incr l
+  done;
+  !l
+
+(* Append one entry; [v] seeds the value array on first growth, after
+   which slots are recycled (stale values are overwritten before use). *)
+let bucket_put t b time seq v =
+  let cap = Array.length b.bv in
+  if b.blen = cap then begin
+    let ncap = if cap = 0 then 8 else cap * 2 in
+    t.cap <- t.cap + (ncap - cap);
+    let nt = Array.make ncap 0 and ns = Array.make ncap 0 and nv = Array.make ncap v in
+    Array.blit b.bt 0 nt 0 b.blen;
+    Array.blit b.bs 0 ns 0 b.blen;
+    Array.blit b.bv 0 nv 0 b.blen;
+    b.bt <- nt;
+    b.bs <- ns;
+    b.bv <- nv
+  end;
+  Array.unsafe_set b.bt b.blen time;
+  Array.unsafe_set b.bs b.blen seq;
+  Array.unsafe_set b.bv b.blen v;
+  b.blen <- b.blen + 1
+
+(* Sorted insert for pushes at or below the cursor: walk the fresh tail
+   entry left to its (time, seq) slot. [from] fences off already-popped
+   entries. The new entry's seq is the global maximum, so it only moves
+   past strictly-later deadlines — a push at the cursor time lands at the
+   tail without moving at all. *)
+let bucket_insert_sorted t b ~from time seq v =
+  bucket_put t b time seq v;
+  let i = ref (b.blen - 1) in
+  while !i > from && Array.unsafe_get b.bt (!i - 1) > time do
+    Array.unsafe_set b.bt !i (Array.unsafe_get b.bt (!i - 1));
+    Array.unsafe_set b.bs !i (Array.unsafe_get b.bs (!i - 1));
+    Array.unsafe_set b.bv !i (Array.unsafe_get b.bv (!i - 1));
+    decr i
+  done;
+  Array.unsafe_set b.bt !i time;
+  Array.unsafe_set b.bs !i seq;
+  Array.unsafe_set b.bv !i v
+
+let push t ~priority:time value =
+  if time < 0 then invalid_arg "Wheel.push: negative priority";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.size <- t.size + 1;
+  if time <= t.wnow then
+    (* cursor bucket: either exactly the cursor deadline, or the
+       below-cursor staging case described in the header comment *)
+    bucket_insert_sorted t (Array.unsafe_get t.l0 (t.wnow land bmask)) ~from:t.ci time seq value
+  else begin
+    let l = level_for t time in
+    let b = Array.unsafe_get (Array.unsafe_get t.lv l) ((time lsr (l * bits)) land bmask) in
+    bucket_put t b time seq value
+  end
+
+(* Re-deal a cascading bucket into the levels below; dead entries are
+   purged here instead of travelling further down the hierarchy. Source
+   order is preserved, which keeps same-deadline runs in seq order. *)
+let redistribute t src =
+  let n = src.blen in
+  src.blen <- 0;
+  for k = 0 to n - 1 do
+    let v = Array.unsafe_get src.bv k in
+    if t.garbage v then t.size <- t.size - 1
+    else begin
+      let time = Array.unsafe_get src.bt k in
+      let l = level_for t time in
+      let b = Array.unsafe_get (Array.unsafe_get t.lv l) ((time lsr (l * bits)) land bmask) in
+      bucket_put t b time (Array.unsafe_get src.bs k) v
+    end
+  done
+
+(* Position the cursor on the next resident entry. Returns false when
+   the wheel drained (possibly because a cascade purged the remaining
+   garbage). Each cascade strictly advances [wnow], so the mutual
+   recursion is bounded by the number of levels per resident entry. *)
+let rec reposition t =
+  if t.size = 0 then false
+  else begin
+    let b = Array.unsafe_get t.l0 (t.wnow land bmask) in
+    if t.ci < b.blen then true
+    else begin
+      b.blen <- 0;
+      t.ci <- 0;
+      (* scan the rest of the level-0 window *)
+      let base = t.wnow land lnot bmask in
+      let i = ref ((t.wnow land bmask) + 1) in
+      let found = ref false in
+      while (not !found) && !i < bsize do
+        if (Array.unsafe_get t.l0 !i).blen > 0 then found := true else incr i
+      done;
+      if !found then begin
+        t.wnow <- base lor !i;
+        true
+      end
+      else cascade t 1
+    end
+  end
+
+and cascade t l =
+  if l >= levels then false
+  else begin
+    let lvl = Array.unsafe_get t.lv l in
+    let i = ref (((t.wnow lsr (l * bits)) land bmask) + 1) in
+    let found = ref false in
+    while (not !found) && !i < bsize do
+      if (Array.unsafe_get lvl !i).blen > 0 then found := true else incr i
+    done;
+    if not !found then cascade t (l + 1)
+    else begin
+      let span = (l + 1) * bits in
+      (* keep the digits above level l, set digit l, zero everything
+         below (span >= 62 would shift past the int width; those digits
+         are always zero for non-negative ints) *)
+      let keep = if span >= 62 then 0 else t.wnow land lnot ((1 lsl span) - 1) in
+      t.wnow <- keep lor (!i lsl (l * bits));
+      t.ci <- 0;
+      redistribute t (Array.unsafe_get lvl !i);
+      reposition t
+    end
+  end
+
+let head_time t =
+  if reposition t then
+    let b = Array.unsafe_get t.l0 (t.wnow land bmask) in
+    Array.unsafe_get b.bt t.ci
+  else -1
+
+let pop_min_exn t =
+  if not (reposition t) then raise Empty
+  else begin
+    let b = Array.unsafe_get t.l0 (t.wnow land bmask) in
+    let v = Array.unsafe_get b.bv t.ci in
+    t.ci <- t.ci + 1;
+    t.size <- t.size - 1;
+    v
+  end
+
+(* Keep the bucket arrays: cleared wheels refill without re-growing.
+   Popped value slots are not scrubbed (overwritten by later pushes). *)
+let clear t =
+  Array.iter (fun lvl -> Array.iter (fun b -> b.blen <- 0) lvl) t.lv;
+  t.wnow <- 0;
+  t.ci <- 0;
+  t.size <- 0;
+  t.next_seq <- 0

@@ -1,0 +1,62 @@
+(** Hierarchical timing wheel: an O(1)-amortized event queue for
+    monotone discrete-event workloads, drop-in ordering-compatible with
+    {!Heap}.
+
+    Entries are keyed by a non-negative integer deadline ([priority])
+    and pop in strict (deadline, insertion order) sequence — the same
+    total order {!Heap} produces — so a simulator can switch between
+    the two backends and replay byte-identical schedules.
+
+    The wheel is hierarchical: 8 levels of 256 power-of-two buckets,
+    covering the full non-negative [int] range. Far-future entries park
+    in coarse upper-level buckets and cascade down as the cursor
+    advances; near-term entries (the overwhelmingly common case in the
+    BFC engine: short-horizon rearms) hit a level-0 bucket directly.
+
+    Monotonicity contract: deadlines must never be below the last
+    popped deadline. Pushing below the {e cursor} is allowed — the
+    cursor can sit ahead of the last pop when the head was peeked but
+    not consumed — and is handled by a sorted insert into the cursor
+    bucket.
+
+    Cancellation is lazy: callers mark values dead and supply a
+    [garbage] predicate at {!create}; cascades purge dead entries
+    instead of re-dealing them. Dead entries that reach level 0 before
+    a cascade sweeps them still pop normally (the caller skips them),
+    exactly like heap tombstones. *)
+
+type 'a t
+
+exception Empty
+
+val create : ?garbage:('a -> bool) -> unit -> 'a t
+(** [create ?garbage ()] makes an empty wheel. [garbage v] should
+    return [true] when [v] is a dead (cancelled) entry safe to drop
+    during a cascade; it defaults to [fun _ -> false] (never purge). *)
+
+val length : 'a t -> int
+(** Resident entries, including dead ones not yet purged or popped. *)
+
+val is_empty : 'a t -> bool
+
+val capacity : 'a t -> int
+(** Total allocated bucket slots across all levels (profiling). *)
+
+val push : 'a t -> priority:int -> 'a -> unit
+(** [push t ~priority v] inserts [v] with deadline [priority].
+    [priority] must be [>= 0] and at or after the last popped
+    deadline; violating the latter silently mis-orders. Amortized
+    O(1); allocates only when a bucket grows. *)
+
+val head_time : 'a t -> int
+(** Deadline of the next entry to pop, or [-1] when the wheel is empty
+    (deadlines are non-negative, so [-1] is unambiguous). May advance
+    the internal cursor and purge garbage; amortized O(1). *)
+
+val pop_min_exn : 'a t -> 'a
+(** Remove and return the entry with the smallest (deadline, insertion
+    order). Never allocates. @raise Empty when the wheel is empty. *)
+
+val clear : 'a t -> unit
+(** Empty the wheel and rewind the cursor to time 0, keeping bucket
+    arrays for reuse. *)

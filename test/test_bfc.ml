@@ -25,14 +25,15 @@ let check = Alcotest.check
 
 let test_flow_table_sizing () =
   let ft = Flow_table.create ~egresses:4 ~queues_per_port:32 ~mult:100 in
-  check Alcotest.int "slots per port" 3200 (Flow_table.slots_per_port ft);
-  check Alcotest.int "total" 12_800 (Flow_table.total_slots ft)
+  (* 32 * 100 = 3200, rounded up to the next power of two for mask lookup *)
+  check Alcotest.int "slots per port" 4096 (Flow_table.slots_per_port ft);
+  check Alcotest.int "total" 16_384 (Flow_table.total_slots ft)
 
 let test_flow_table_same_slot_same_entry () =
   let ft = Flow_table.create ~egresses:2 ~queues_per_port:8 ~mult:10 in
   let e1 = Flow_table.entry ft ~egress:0 ~fid_hash:5 in
   let e2 = Flow_table.entry ft ~egress:0 ~fid_hash:5 in
-  let e3 = Flow_table.entry ft ~egress:0 ~fid_hash:(5 + 80) (* wraps to same slot *) in
+  let e3 = Flow_table.entry ft ~egress:0 ~fid_hash:(5 + 128) (* wraps to same slot *) in
   let e4 = Flow_table.entry ft ~egress:1 ~fid_hash:5 in
   Alcotest.(check bool) "same hash same entry" true (e1 == e2);
   Alcotest.(check bool) "index collision shares entry" true (e1 == e3);

@@ -1,10 +1,13 @@
-(* Regression tests for the performance-engineering layer (PR 3): the
-   non-allocating heap API, per-sim packet uids, the reusable ticker
-   handle, the packet pool's full-field reset, and determinism of the
-   domain-parallel sweep runner. *)
+(* Regression tests for the performance-engineering layer (PRs 3 and 5):
+   the non-allocating heap API, per-sim packet uids, the reusable ticker
+   handle, the packet pool's full-field reset, determinism of the
+   domain-parallel sweep runner, and the heap-vs-timing-wheel scheduler
+   differential (identical event order and experiment metrics). *)
 
 open Alcotest
 module Heap = Bfc_util.Heap
+module Wheel = Bfc_util.Wheel
+module Rng = Bfc_util.Rng
 module Sim = Bfc_engine.Sim
 module Time = Bfc_engine.Time
 module Packet = Bfc_net.Packet
@@ -169,6 +172,85 @@ let test_run_parallel_rows_identical () =
   let par = flat (tables 4) in
   check (list (list string)) "rows byte-identical at jobs=4" seq par
 
+(* ---------------------- scheduler differential --------------------- *)
+
+let with_sched sched f =
+  let prev = Sim.default_sched () in
+  Sim.set_default_sched sched;
+  Fun.protect ~finally:(fun () -> Sim.set_default_sched prev) f
+
+(* A random Sim-level schedule with one-shots, cancels, reusable-handle
+   rearm chains and tickers must fire in the same order under both
+   backends. This drives the wheel through the Sim dispatch (tombstone
+   pops, garbage purge, every-tick re-push), not just the raw structure. *)
+let sim_fire_trace sched seed =
+  with_sched sched (fun () ->
+      let sim = Sim.create () in
+      check bool "backend selected" true (Sim.sched sim = sched);
+      let rng = Rng.create seed in
+      let trace = ref [] in
+      let record tag id = trace := ((tag : int), (id : int), Sim.now sim) :: !trace in
+      let cancellable = ref [] in
+      for i = 0 to 399 do
+        let t = Rng.int rng 100_000 in
+        let h = Sim.at sim t (fun () -> record 0 i) in
+        if Rng.bernoulli rng 0.3 then cancellable := h :: !cancellable
+      done;
+      (* rearm chains: one reusable handle per chain, re-armed at a
+         random horizon from inside its own callback (the Port pattern) *)
+      for i = 0 to 9 do
+        let hops = ref 0 in
+        let href = ref None in
+        let h =
+          Sim.make_handle sim (fun () ->
+              record 1 i;
+              incr hops;
+              if !hops < 50 then
+                match !href with
+                | Some h -> Sim.rearm h ~at:(Sim.now sim + 1 + Rng.int rng 5_000)
+                | None -> ())
+        in
+        href := Some h;
+        Sim.rearm h ~at:(1 + Rng.int rng 1_000)
+      done;
+      let tks = List.init 5 (fun i -> Sim.every sim ~period:(7_001 + i) (fun () -> record 2 i)) in
+      (* cancel a random subset mid-run to leave tombstones behind *)
+      ignore
+        (Sim.at sim 50_000 (fun () ->
+             List.iter Sim.cancel !cancellable;
+             List.iter Sim.stop_ticker tks));
+      ignore (Sim.run_until_idle sim);
+      List.rev !trace)
+
+let test_sim_differential_random_schedule () =
+  for seed = 1 to 5 do
+    let heap = sim_fire_trace Sim.Heap seed in
+    let wheel = sim_fire_trace Sim.Wheel seed in
+    check int (Printf.sprintf "trace length (seed %d)" seed) (List.length heap)
+      (List.length wheel);
+    check bool (Printf.sprintf "identical fire order (seed %d)" seed) true (heap = wheel)
+  done
+
+(* End-to-end: the quick experiment suite produces byte-identical metric
+   rows whichever scheduler backend runs it. *)
+let test_experiments_identical_across_scheds () =
+  let flat ts =
+    List.concat_map
+      (fun t -> (t.Exp_common.title :: t.Exp_common.header) :: t.Exp_common.rows)
+      ts
+  in
+  List.iter
+    (fun name ->
+      let target =
+        match Experiments.find name with Some t -> t | None -> fail (name ^ " missing")
+      in
+      let rows sched = flat (with_sched sched (fun () -> target.Experiments.t_run Exp_common.Smoke)) in
+      check
+        (list (list string))
+        (name ^ " rows byte-identical across backends")
+        (rows Sim.Heap) (rows Sim.Wheel))
+    [ "fig7"; "sticky" ]
+
 let suite =
   [
     test_case "heap pop_min_exn empty" `Quick test_heap_pop_min_exn_empty;
@@ -181,4 +263,6 @@ let suite =
     test_case "domain pool preserves order" `Quick test_pool_run_preserves_order;
     test_case "domain pool error in task order" `Quick test_pool_run_error_in_task_order;
     test_case "run_parallel byte-identical rows" `Slow test_run_parallel_rows_identical;
+    test_case "sim differential: random schedule" `Quick test_sim_differential_random_schedule;
+    test_case "sim differential: experiment rows" `Slow test_experiments_identical_across_scheds;
   ]

@@ -2,6 +2,8 @@
 
 module Rng = Bfc_util.Rng
 module Heap = Bfc_util.Heap
+module Wheel = Bfc_util.Wheel
+module Int_table = Bfc_util.Int_table
 module Bitset = Bfc_util.Bitset
 module Stats = Bfc_util.Stats
 module Histogram = Bfc_util.Histogram
@@ -202,6 +204,197 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare xs)
 
+(* ------------------------------ Wheel ------------------------------ *)
+
+let test_wheel_order () =
+  let w = Wheel.create () in
+  List.iter (fun p -> Wheel.push w ~priority:p p) [ 5; 3; 8; 1; 9; 2 ];
+  let out = ref [] in
+  while not (Wheel.is_empty w) do
+    out := Wheel.pop_min_exn w :: !out
+  done;
+  check Alcotest.(list int) "sorted ascending" [ 1; 2; 3; 5; 8; 9 ] (List.rev !out)
+
+let test_wheel_fifo_ties () =
+  let w = Wheel.create () in
+  List.iter (fun v -> Wheel.push w ~priority:7 v) [ "a"; "b"; "c" ];
+  check Alcotest.string "fifo a" "a" (Wheel.pop_min_exn w);
+  check Alcotest.string "fifo b" "b" (Wheel.pop_min_exn w);
+  check Alcotest.string "fifo c" "c" (Wheel.pop_min_exn w)
+
+let test_wheel_head_time () =
+  let w = Wheel.create () in
+  check Alcotest.int "empty head" (-1) (Wheel.head_time w);
+  Wheel.push w ~priority:42 "x";
+  check Alcotest.int "head" 42 (Wheel.head_time w);
+  check Alcotest.int "head does not pop" 1 (Wheel.length w);
+  ignore (Wheel.pop_min_exn w);
+  check Alcotest.int "drained" (-1) (Wheel.head_time w);
+  Alcotest.check_raises "pop on empty" Wheel.Empty (fun () -> ignore (Wheel.pop_min_exn w))
+
+let test_wheel_cascade_far_future () =
+  (* deadlines spanning several digit levels, far beyond level 0 *)
+  let w = Wheel.create () in
+  let times = [ 0; 255; 256; 65_535; 65_536; 16_777_216; 1 lsl 40; (1 lsl 40) + 1 ] in
+  List.iter (fun p -> Wheel.push w ~priority:p p) (List.rev times);
+  let out = ref [] in
+  while not (Wheel.is_empty w) do
+    out := Wheel.pop_min_exn w :: !out
+  done;
+  check Alcotest.(list int) "cascades in order" times (List.rev !out)
+
+let test_wheel_push_below_cursor () =
+  (* peek far ahead (advancing the cursor), then push nearer-term work:
+     the Sim.run pattern where flows are injected between run windows *)
+  let w = Wheel.create () in
+  Wheel.push w ~priority:10_000 10_000;
+  check Alcotest.int "cursor ahead" 10_000 (Wheel.head_time w);
+  Wheel.push w ~priority:10_000 10_000;
+  Wheel.push w ~priority:9_999 9_999;
+  check Alcotest.int "staged below cursor" 9_999 (Wheel.pop_min_exn w);
+  check Alcotest.int "then first 10k" 10_000 (Wheel.pop_min_exn w);
+  check Alcotest.int "then second 10k" 10_000 (Wheel.pop_min_exn w);
+  check Alcotest.bool "empty" true (Wheel.is_empty w)
+
+let test_wheel_garbage_purge () =
+  (* dead entries parked in upper levels are purged by the cascade and
+     never popped; live ones survive *)
+  let dead = Hashtbl.create 8 in
+  let w = Wheel.create ~garbage:(Hashtbl.mem dead) () in
+  List.iter (fun p -> Wheel.push w ~priority:p p) [ 70_000; 70_001; 70_002 ];
+  Hashtbl.add dead 70_001 ();
+  check Alcotest.int "first live" 70_000 (Wheel.pop_min_exn w);
+  check Alcotest.int "dead one purged" 70_002 (Wheel.pop_min_exn w);
+  check Alcotest.bool "purge fixed the size" true (Wheel.is_empty w);
+  (* purge-to-empty: head_time must report the drain *)
+  Wheel.push w ~priority:200_000 200_000;
+  Hashtbl.add dead 200_000 ();
+  check Alcotest.int "all-garbage wheel drains" (-1) (Wheel.head_time w)
+
+let test_wheel_clear () =
+  let w = Wheel.create () in
+  for i = 0 to 999 do
+    Wheel.push w ~priority:(i * 97) i
+  done;
+  Wheel.clear w;
+  check Alcotest.bool "cleared" true (Wheel.is_empty w);
+  Wheel.push w ~priority:3 33;
+  check Alcotest.int "usable after clear" 33 (Wheel.pop_min_exn w)
+
+(* The differential property: any monotone-nondecreasing push/pop trace
+   pops identically from Heap and Wheel (values are distinct, so this
+   checks the FIFO tie-break too). *)
+let prop_wheel_matches_heap =
+  QCheck.Test.make ~name:"wheel pops in heap order" ~count:300
+    QCheck.(list (pair (int_range 0 5000) (int_range 0 3)))
+    (fun ops ->
+      let h = Heap.create () and w = Wheel.create () in
+      let ok = ref true in
+      let uid = ref 0 in
+      let floor = ref 0 in
+      List.iter
+        (fun (dt, act) ->
+          if act = 0 && Heap.length h > 0 then begin
+            (* pop from both; the popped time raises the monotone floor *)
+            let hv = Heap.pop_min_exn h in
+            let wv = Wheel.pop_min_exn w in
+            if hv <> wv then ok := false;
+            floor := max !floor (hv lsr 16)
+          end
+          else begin
+            (* push the same (priority, value) into both; encode the
+               uid in the low bits so every value is unique *)
+            incr uid;
+            let p = !floor + dt in
+            let v = (p lsl 16) lor (!uid land 0xFFFF) in
+            Heap.push h ~priority:p v;
+            Wheel.push w ~priority:p v
+          end)
+        ops;
+      while Heap.length h > 0 do
+        if Heap.pop_min_exn h <> Wheel.pop_min_exn w then ok := false
+      done;
+      Wheel.is_empty w && !ok)
+
+(* ---------------------------- Int_table ---------------------------- *)
+
+let test_int_table_basic () =
+  let t = Int_table.create () in
+  check Alcotest.int "empty" 0 (Int_table.length t);
+  Int_table.set t 7 "seven";
+  Int_table.set t 0 "zero";
+  Int_table.set t (-3) "neg";
+  check Alcotest.int "three" 3 (Int_table.length t);
+  check Alcotest.(option string) "find 7" (Some "seven") (Int_table.find_opt t 7);
+  check Alcotest.(option string) "find -3" (Some "neg") (Int_table.find_opt t (-3));
+  check Alcotest.(option string) "miss" None (Int_table.find_opt t 99);
+  Int_table.set t 7 "SEVEN";
+  check Alcotest.int "overwrite keeps count" 3 (Int_table.length t);
+  check Alcotest.(option string) "overwritten" (Some "SEVEN") (Int_table.find_opt t 7);
+  Int_table.remove t 7;
+  check Alcotest.bool "removed" false (Int_table.mem t 7);
+  Int_table.remove t 99 (* absent: no-op *);
+  check Alcotest.int "two left" 2 (Int_table.length t);
+  Int_table.reset t;
+  check Alcotest.int "reset" 0 (Int_table.length t);
+  check Alcotest.(option string) "reset misses" None (Int_table.find_opt t 0)
+
+let test_int_table_find_exn () =
+  let t = Int_table.create ~size:4 () in
+  Int_table.set t 5 17;
+  check Alcotest.int "hit" 17 (Int_table.find_exn t 5);
+  Alcotest.check_raises "miss raises" Not_found (fun () -> ignore (Int_table.find_exn t 6))
+
+let test_int_table_growth () =
+  let t = Int_table.create ~size:4 () in
+  for k = 0 to 9_999 do
+    Int_table.set t (k * 31) k
+  done;
+  check Alcotest.int "count" 10_000 (Int_table.length t);
+  for k = 0 to 9_999 do
+    assert (Int_table.find_exn t (k * 31) = k)
+  done
+
+(* model check vs Hashtbl, exercising backward-shift deletion under
+   collision-heavy keys *)
+let prop_int_table_model =
+  QCheck.Test.make ~name:"int_table matches Hashtbl model" ~count:300
+    QCheck.(list (pair (int_range 0 40) bool))
+    (fun ops ->
+      let t = Int_table.create ~size:4 () in
+      let m = Hashtbl.create 16 in
+      List.iter
+        (fun (k, add) ->
+          if add then begin
+            Int_table.set t k k;
+            Hashtbl.replace m k k
+          end
+          else begin
+            Int_table.remove t k;
+            Hashtbl.remove m k
+          end)
+        ops;
+      Int_table.length t = Hashtbl.length m
+      && Hashtbl.fold (fun k v acc -> acc && Int_table.find_opt t k = Some v) m true)
+
+let test_counter_semantics () =
+  let c = Int_table.Counter.create () in
+  check Alcotest.int "absent reads 0" 0 (Int_table.Counter.get c 5);
+  Int_table.Counter.incr c 5;
+  Int_table.Counter.incr c 5;
+  Int_table.Counter.incr c 9;
+  check Alcotest.int "two keys" 2 (Int_table.Counter.length c);
+  check Alcotest.int "count 5" 2 (Int_table.Counter.get c 5);
+  Int_table.Counter.decr c 5;
+  check Alcotest.int "decremented" 1 (Int_table.Counter.get c 5);
+  Int_table.Counter.decr c 5;
+  check Alcotest.int "zero removes key" 1 (Int_table.Counter.length c);
+  Int_table.Counter.decr c 5 (* absent: no-op *);
+  Int_table.Counter.decr c 77 (* never present: no-op *);
+  check Alcotest.int "still one key" 1 (Int_table.Counter.length c);
+  Int_table.Counter.reset c;
+  check Alcotest.int "reset" 0 (Int_table.Counter.length c)
+
 (* ------------------------------ Bitset ----------------------------- *)
 
 let test_bitset_basic () =
@@ -369,6 +562,17 @@ let suite =
     ("heap order", `Quick, test_heap_order);
     ("heap fifo ties", `Quick, test_heap_fifo_ties);
     ("heap peek", `Quick, test_heap_peek);
+    ("wheel order", `Quick, test_wheel_order);
+    ("wheel fifo ties", `Quick, test_wheel_fifo_ties);
+    ("wheel head_time", `Quick, test_wheel_head_time);
+    ("wheel cascade far future", `Quick, test_wheel_cascade_far_future);
+    ("wheel push below cursor", `Quick, test_wheel_push_below_cursor);
+    ("wheel garbage purge", `Quick, test_wheel_garbage_purge);
+    ("wheel clear", `Quick, test_wheel_clear);
+    ("int_table basic", `Quick, test_int_table_basic);
+    ("int_table find_exn", `Quick, test_int_table_find_exn);
+    ("int_table growth", `Quick, test_int_table_growth);
+    ("int_table counter", `Quick, test_counter_semantics);
     ("bitset basic", `Quick, test_bitset_basic);
     ("bitset rotation", `Quick, test_bitset_first_set_rotation);
     ("bitset bounds", `Quick, test_bitset_bounds);
@@ -383,6 +587,8 @@ let suite =
     ("ascii table", `Quick, test_ascii_table);
     ("float cell", `Quick, test_float_cell);
     QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_wheel_matches_heap;
+    QCheck_alcotest.to_alcotest prop_int_table_model;
     QCheck_alcotest.to_alcotest prop_bitset_model;
     QCheck_alcotest.to_alcotest prop_percentile_bounds;
   ]
