@@ -19,6 +19,12 @@
                                                  "sched" block to
                                                  BENCH_engine.json; combines
                                                  with --macro)
+     dune exec bench/main.exe -- --stress     -- events/sec under fault load
+                                                 (flap-storm scenario +
+                                                 injector + stress detectors)
+                                                 vs the clean run (adds a
+                                                 "stress" block; combines
+                                                 with --macro/--sched)
      dune exec bench/main.exe -- --engine-profile
                                               -- one quick run, engine
                                                  self-profile JSON on stdout *)
@@ -241,6 +247,46 @@ let run_macro ~jobs () =
     par_secs speedup_json profile_json comparison
 
 (* ------------------------------------------------------------------ *)
+(* Stress benchmark: the same quick reference workload, clean vs with the
+   fault injector, a flap-storm scenario and the stress detectors all
+   attached — what the adversity machinery costs in engine throughput. *)
+
+let run_stress () =
+  Printf.printf "\n################ stress benchmark: fault load vs clean\n%!";
+  let module Injector = Bfc_fault.Injector in
+  let module Detect = Bfc_stress.Detect in
+  let module Scenario = Bfc_stress.Scenario in
+  let leg name setup =
+    let r, secs = time_run (fun () -> Exp_common.run_std setup) in
+    let events = Runner.events_executed r.Exp_common.env in
+    let eps = float_of_int events /. secs in
+    Printf.printf "  [%-5s] events %d, wall %.2f s, %.0f events/sec\n%!" name events secs eps;
+    (events, secs, eps)
+  in
+  let clean_e, clean_s, clean_eps = leg "clean" (quick_setup 1) in
+  let fault_e, fault_s, fault_eps =
+    leg "fault"
+      {
+        (quick_setup 1) with
+        Exp_common.sp_obs =
+          (fun env ->
+            let inj = Injector.attach env in
+            ignore (Detect.attach env);
+            ignore (Scenario.apply (Scenario.flap_storm ()) ~env ~inj ()));
+      }
+  in
+  let overhead_pct = 100.0 *. ((clean_eps /. fault_eps) -. 1.0) in
+  Printf.printf "  fault-load overhead   %+.1f%% events/sec\n%!" overhead_pct;
+  Printf.sprintf
+    {|"stress": {
+    "workload": "run_std quick bfc seed=1 vs same + flap-storm + injector + detectors",
+    "clean": { "events": %d, "seconds": %.3f, "events_per_sec": %.0f },
+    "fault": { "events": %d, "seconds": %.3f, "events_per_sec": %.0f },
+    "overhead_pct": %.1f
+  }|}
+    clean_e clean_s clean_eps fault_e fault_s fault_eps overhead_pct
+
+(* ------------------------------------------------------------------ *)
 (* Scheduler microbenchmark: raw Heap vs Wheel throughput, isolated from
    the rest of the engine. Two steady states per pending-set size:
      - push/pop: fill with n deadlines, then drain, repeatedly;
@@ -375,6 +421,7 @@ let () =
   let micro_only = ref false in
   let macro = ref false in
   let sched = ref false in
+  let stress = ref false in
   let csv_dir = ref None in
   let jobs = ref (Pool.recommended_jobs ()) in
   let bench_out = ref "BENCH_engine.json" in
@@ -398,6 +445,9 @@ let () =
     | "--sched" :: rest ->
       sched := true;
       parse rest
+    | "--stress" :: rest ->
+      stress := true;
+      parse rest
     | "--engine-profile" :: _ ->
       (* one quick run, engine self-profile JSON on stdout (--profile is
          taken by the scale selector, hence the distinct flag name) *)
@@ -415,10 +465,11 @@ let () =
       parse rest
   in
   parse args;
-  if !macro || !sched then begin
+  if !macro || !sched || !stress then begin
     let blocks =
       (if !macro then [ run_macro ~jobs:!jobs () ] else [])
-      @ if !sched then [ run_sched () ] else []
+      @ (if !sched then [ run_sched () ] else [])
+      @ if !stress then [ run_stress () ] else []
     in
     write_bench ~out:!bench_out blocks
   end

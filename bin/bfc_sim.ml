@@ -83,12 +83,18 @@ let dist_conv =
       fun fmt d -> Format.pp_print_string fmt (Dist.name d) )
 
 let sweep_cmd =
+  let module Time = Bfc_engine.Time in
   let scheme = Arg.(value & opt scheme_conv Scheme.bfc & info [ "scheme" ] ~docv:"SCHEME") in
   let dist = Arg.(value & opt dist_conv Dist.fb_hadoop & info [ "dist" ] ~docv:"DIST") in
   let load = Arg.(value & opt float 0.6 & info [ "load" ] ~docv:"LOAD") in
   let incast = Arg.(value & opt (some int) None & info [ "incast" ] ~docv:"DEGREE") in
+  let watchdog =
+    Arg.(value & opt float 0.0
+        & info [ "watchdog" ] ~docv:"US"
+            ~doc:"Pause-watchdog timeout in microseconds on every device; 0 disables it.")
+  in
   let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
-  let run profile scheme dist load incast seed =
+  let run profile scheme dist load incast watchdog seed =
     let s =
       {
         (Exp_common.std profile scheme) with
@@ -97,12 +103,21 @@ let sweep_cmd =
         sp_incast =
           Option.map (fun degree -> { Exp_common.default_incast with Exp_common.degree }) incast;
         sp_seed = seed;
+        sp_params =
+          (fun p ->
+            {
+              p with
+              Runner.pause_watchdog =
+                (if watchdog > 0.0 then Some (Time.us watchdog) else None);
+            });
       }
     in
     let r = Exp_common.run_std s in
     Printf.printf "scheme=%s dist=%s load=%.2f completed=%d/%d drops=%d\n" (Scheme.name scheme)
       (Dist.name dist) load (Runner.completed r.Exp_common.env) (Runner.injected r.Exp_common.env)
       (Runner.total_drops r.Exp_common.env);
+    if watchdog > 0.0 then
+      Printf.printf "watchdog_fires=%d\n" (Metrics.watchdog_fires r.Exp_common.env);
     Exp_common.print_table
       {
         Exp_common.title = "FCT slowdown";
@@ -112,7 +127,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"One ad-hoc Clos run with chosen scheme/workload/load")
-    Term.(const run $ profile_arg $ scheme $ dist $ load $ incast $ seed)
+    Term.(const run $ profile_arg $ scheme $ dist $ load $ incast $ watchdog $ seed)
 
 let trace_cmd =
   let module Time = Bfc_engine.Time in
@@ -315,6 +330,70 @@ let faults_cmd =
     Term.(const run $ scheme $ senders $ size $ resume_loss $ ctrl_loss $ data_loss $ watchdog
           $ flaps $ reboot_at $ no_audit $ seed)
 
+let stress_cmd =
+  let module Time = Bfc_engine.Time in
+  let module Stress_exp = Bfc_stress.Stress_exp in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let jobs =
+    Arg.(value & opt int 1
+        & info [ "jobs" ] ~docv:"N"
+            ~doc:"Sweep cells over $(docv) domains; the table is byte-identical for any value.")
+  in
+  let watchdog =
+    Arg.(value & opt float 50.0
+        & info [ "watchdog" ] ~docv:"US"
+            ~doc:
+              "Pause-watchdog timeout in microseconds on every device in the Clos leg; 0 \
+               disables it. The watchdog is what un-wedges peers of a crashed switch whose \
+               Resume frames died with it (see README). The ring leg never arms one.")
+  in
+  let summary_out =
+    Arg.(value & opt (some string) None
+        & info [ "summary-out" ] ~docv:"FILE"
+            ~doc:
+              "Also write the matrix in canonical pipe-separated form to $(docv) — the replay \
+               fixture format: same seed, same file bytes.")
+  in
+  let csv_dir =
+    Arg.(value & opt (some string) None
+        & info [ "csv-dir" ] ~docv:"DIR" ~doc:"Write each table as CSV into $(docv).")
+  in
+  let run profile seed jobs watchdog summary_out csv_dir =
+    let tables = ref [] in
+    let target = Stress_exp.target ~seed ~watchdog:(Time.us watchdog) () in
+    let target =
+      {
+        target with
+        Experiments.t_run =
+          (fun p ->
+            let ts = target.Experiments.t_run p in
+            tables := ts;
+            ts);
+      }
+    in
+    Experiments.run_parallel ?csv_dir ~jobs profile target;
+    match summary_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      List.iter
+        (fun (t : Exp_common.table) ->
+          output_string oc (t.Exp_common.title ^ "\n");
+          List.iter
+            (fun row -> output_string oc (String.concat "|" row ^ "\n"))
+            (t.Exp_common.header :: t.Exp_common.rows))
+        !tables;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Adversity matrix: scheme x fault scenario on the Clos fabric plus the crafted \
+          cyclic-buffer-dependency ring, with pause-storm / runtime-deadlock / victim-flow \
+          detectors attached")
+    Term.(const run $ profile_arg $ seed $ jobs $ watchdog $ summary_out $ csv_dir)
+
 let lint_cmd =
   let paths =
     Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc:"Files or directories to lint.")
@@ -345,4 +424,7 @@ let lint_cmd =
 let () =
   let doc = "Backpressure Flow Control (NSDI 2022) reproduction" in
   let info = Cmd.info "bfc_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sweep_cmd; trace_cmd; faults_cmd; lint_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; sweep_cmd; trace_cmd; faults_cmd; stress_cmd; lint_cmd ]))

@@ -21,6 +21,11 @@ let add_edge g ~src ~dst =
 
 let n_edges g = g.edges
 
+let edges g =
+  let out = ref [] in
+  Array.iteri (fun u vs -> List.iter (fun v -> out := (u, v) :: !out) vs) g.adj;
+  List.sort compare !out
+
 (* The egress port at the upstream device that feeds [sw]'s ingress
    [in_port]: the paired reverse direction of the same link. *)
 let upstream_egress_gid topo ~sw ~in_port =

@@ -24,6 +24,10 @@ val add_edge : graph -> src:int -> dst:int -> unit
 
 val n_edges : graph -> int
 
+(** Every edge, sorted by (src, dst). Runtime monitors use this to build
+    induced subgraphs over the currently-paused ports. *)
+val edges : graph -> (int * int) list
+
 val has_cycle : graph -> bool
 
 (** A witness cycle as a list of port gids, if any. *)

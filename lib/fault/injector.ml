@@ -11,7 +11,15 @@ module Registry = Bfc_obs.Registry
 
 (* Per directed port: the injector owns the port's fault predicate and
    composes link-down state with an optional loss model. *)
-type link_state = { lport : Port.t; mutable down : bool; mutable loss : Loss.t option }
+(* [down_epoch] counts down-transitions of the directed port; scheduled
+   restores capture it so a later, independent outage of the same link is
+   never resurrected by an earlier fault's timer. *)
+type link_state = {
+  lport : Port.t;
+  mutable down : bool;
+  mutable down_epoch : int;
+  mutable loss : Loss.t option;
+}
 
 (* Telemetry probes, when the injector is attached with a registry. *)
 type probes = {
@@ -64,7 +72,7 @@ let state t ~gid =
   | Some s -> s
   | None ->
     let p = Topology.port_by_gid (Runner.topo t.env) gid in
-    let s = { lport = p; down = false; loss = None } in
+    let s = { lport = p; down = false; down_epoch = 0; loss = None } in
     Port.set_fault p (fun pkt ->
         s.down || (match s.loss with Some l -> Loss.decide l pkt | None -> false));
     Hashtbl.add t.links gid s;
@@ -89,13 +97,29 @@ let set_loss_everywhere t loss =
     set_loss t ~gid loss
   done
 
-let set_directed_down t ~gid down = (state t ~gid).down <- down
+let clear_loss_everywhere t =
+  let topo = Runner.topo t.env in
+  for gid = 0 to Topology.total_ports topo - 1 do
+    clear_loss t ~gid
+  done
+
+let mark_down s =
+  if not s.down then begin
+    s.down <- true;
+    s.down_epoch <- s.down_epoch + 1
+  end
+
+let set_directed_down t ~gid down =
+  let s = state t ~gid in
+  if down then mark_down s else s.down <- false
+
+let is_down t ~gid = (state t ~gid).down
 
 let link_down t ~gid =
   let s = state t ~gid in
   if not s.down then begin
-    s.down <- true;
-    (state t ~gid:(Port.gid (reverse_port t s.lport))).down <- true;
+    mark_down s;
+    mark_down (state t ~gid:(Port.gid (reverse_port t s.lport)));
     bump t (fun p -> p.c_down);
     note t ~node:(owner t s.lport) (Tracer.Link_down { gid })
   end
@@ -145,8 +169,19 @@ let reboot_switch t ~node ?down_for () =
     let sim = Runner.sim t.env in
     for e = 0 to Switch.n_ports sw - 1 do
       let gid = Port.gid (Switch.port sw e) in
-      link_down t ~gid;
-      ignore (Sim.after sim d (fun () -> link_up t ~gid))
+      let s = state t ~gid in
+      (* A link already down belongs to an earlier, independent fault:
+         taking it "down again" must neither bump the fault counters a
+         second time nor let this crash-restart timer resurrect it before
+         that fault's own recovery. The epoch capture also keeps two
+         overlapping reboots from cutting each other's outage short. *)
+      if not s.down then begin
+        link_down t ~gid;
+        let epoch = s.down_epoch in
+        ignore
+          (Sim.after sim d (fun () ->
+               if s.down && s.down_epoch = epoch then link_up t ~gid))
+      end
     done);
   let flushed = Switch.reboot sw in
   (match find_dataplane t ~node with Some dp -> Dataplane.reset dp | None -> ());

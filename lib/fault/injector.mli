@@ -36,6 +36,9 @@ val clear_loss : t -> gid:int -> unit
 (** Share one loss model across every directed port of the topology. *)
 val set_loss_everywhere : t -> Loss.t -> unit
 
+(** Remove the loss model from every directed port (ends a loss burst). *)
+val clear_loss_everywhere : t -> unit
+
 (** {2 Link state} *)
 
 (** Take the link carrying directed port [gid] down in both directions.
@@ -46,6 +49,9 @@ val link_up : t -> gid:int -> unit
 
 (** Lower-level: set only the given direction (asymmetric faults). *)
 val set_directed_down : t -> gid:int -> bool -> unit
+
+(** Is the directed port currently down? *)
+val is_down : t -> gid:int -> bool
 
 (** [flap t ~gid ~start ~down_for ~period ~count] schedules [count]
     down/up cycles: down at [start + i*period], up [down_for] later.
@@ -65,7 +71,10 @@ val flap :
     buffer flushed (packets counted as drops), PFC and pause state cleared,
     BFC flow table / pause counters / DQA reset. With [down_for], the
     switch's links also stay down for the crash-restart window so peers see
-    the outage. Returns the number of packets lost. *)
+    the outage. Links that were already down when the reboot hit are left
+    to their own fault's timeline: their counters are not bumped again and
+    the crash-restart timer does not bring them back early. Returns the
+    number of packets lost. *)
 val reboot_switch : t -> node:int -> ?down_for:Bfc_engine.Time.t -> unit -> int
 
 (** Packets lost so far on ports this injector manages (loss models and

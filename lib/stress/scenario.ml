@@ -1,0 +1,225 @@
+module Sim = Bfc_engine.Sim
+module Time = Bfc_engine.Time
+module Topology = Bfc_net.Topology
+module Node = Bfc_net.Node
+module Port = Bfc_net.Port
+module Flow = Bfc_net.Flow
+module Switch = Bfc_switch.Switch
+module Rng = Bfc_util.Rng
+module Runner = Bfc_sim.Runner
+module Injector = Bfc_fault.Injector
+module Loss = Bfc_fault.Loss
+
+type link_sel = Core of int | Uplink of int | Gid of int
+
+type pkt_sel = All | Data | Ctrl | Resumes
+
+type action =
+  | Link_down of { at : Time.t; sel : link_sel }
+  | Link_up of { at : Time.t; sel : link_sel }
+  | Flap of { at : Time.t; sel : link_sel; down_for : Time.t; period : Time.t; count : int }
+  | Reboot of { at : Time.t; switch : int; down_for : Time.t option }
+  | Loss_burst of { at : Time.t; dur : Time.t; p : float; pkts : pkt_sel; lseed : int }
+  | Incast of { at : Time.t; degree : int; agg : int; iseed : int }
+
+type t = { sc_name : string; sc_actions : action list }
+
+(* ------------------------------------------------------------------ *)
+(* Canned scenarios *)
+
+let clean = { sc_name = "clean"; sc_actions = [] }
+
+let resume_loss ?(at = Time.us 40.0) ?(dur = Time.us 120.0) ?(p = 0.5) () =
+  {
+    sc_name = "resume-loss";
+    sc_actions = [ Loss_burst { at; dur; p; pkts = Resumes; lseed = 9001 } ];
+  }
+
+let flap_storm ?(at = Time.us 30.0) ?(count = 3) () =
+  let down_for = Time.us 10.0 in
+  let period = Time.us 35.0 in
+  {
+    sc_name = "flap-storm";
+    sc_actions =
+      [
+        Flap { at; sel = Core 0; down_for; period; count };
+        Flap { at = at + Time.us 15.0; sel = Core 3; down_for; period; count };
+      ];
+  }
+
+let reboot ?(at = Time.us 60.0) ?(down_for = Time.us 25.0) ?(switch = 0) () =
+  {
+    sc_name = "reboot";
+    sc_actions = [ Reboot { at; switch; down_for = Some down_for } ];
+  }
+
+let random_storm ~seed ~horizon =
+  let rng = Rng.create seed in
+  let t_in lo hi = lo + Rng.int rng (max 1 (hi - lo)) in
+  let actions = ref [] in
+  let n_flaps = 1 + Rng.int rng 3 in
+  for _ = 1 to n_flaps do
+    let down_for = Time.us (float_of_int (5 + Rng.int rng 15)) in
+    let period = down_for + Time.us (float_of_int (10 + Rng.int rng 25)) in
+    actions :=
+      Flap
+        {
+          at = t_in (horizon / 10) (horizon / 2);
+          sel = Core (Rng.int rng 8);
+          down_for;
+          period;
+          count = 2 + Rng.int rng 3;
+        }
+      :: !actions
+  done;
+  actions :=
+    Loss_burst
+      {
+        at = t_in (horizon / 8) (horizon / 2);
+        dur = horizon / 8;
+        p = 0.2 +. (0.1 *. float_of_int (Rng.int rng 5));
+        pkts = Resumes;
+        lseed = Rng.int rng 1_000_000;
+      }
+    :: !actions;
+  if Rng.bool rng then
+    actions :=
+      Reboot
+        {
+          at = t_in (horizon / 4) (horizon / 2);
+          switch = Rng.int rng 4;
+          down_for = Some (Time.us (float_of_int (10 + Rng.int rng 20)));
+        }
+      :: !actions;
+  actions :=
+    Incast
+      {
+        at = t_in (horizon / 6) (horizon / 3);
+        degree = 8;
+        agg = 400_000;
+        iseed = Rng.int rng 1_000_000;
+      }
+    :: !actions;
+  { sc_name = Printf.sprintf "storm-%d" seed; sc_actions = List.rev !actions }
+
+(* ------------------------------------------------------------------ *)
+(* Resolution & execution *)
+
+(* Directed ports owned by a node of [kind] whose peer matches [peer_ok],
+   sorted by gid, for the topology-relative selectors. *)
+let directed_links topo ~src_switch ~dst_switch =
+  let nodes = Topology.nodes topo in
+  let out = ref [] in
+  Array.iter
+    (fun nd ->
+      if (nd.Node.kind = Node.Switch) = src_switch then
+        Array.iter
+          (fun p ->
+            let peer = (Port.peer p).Node.id in
+            if (nodes.(peer).Node.kind = Node.Switch) = dst_switch then
+              out := Port.gid p :: !out)
+          (Topology.ports topo nd.Node.id))
+    nodes;
+  List.sort compare !out
+
+let resolve topo sel =
+  let pick links i what =
+    match links with
+    | [] -> invalid_arg (Printf.sprintf "Scenario: topology has no %s links" what)
+    | l -> List.nth l (i mod List.length l)
+  in
+  match sel with
+  | Gid g -> g
+  | Core i -> pick (directed_links topo ~src_switch:true ~dst_switch:true) i "core"
+  | Uplink i -> pick (directed_links topo ~src_switch:false ~dst_switch:true) i "uplink"
+
+let matcher = function
+  | All -> Loss.any
+  | Data -> Loss.data
+  | Ctrl -> Loss.ctrl
+  | Resumes -> Loss.resumes
+
+let incast_flows topo ~at ~degree ~agg ~iseed ~id_base =
+  let rng = Rng.create iseed in
+  let hosts = Array.copy (Topology.hosts topo) in
+  let n = Array.length hosts in
+  if n < 2 then []
+  else begin
+    Rng.shuffle rng hosts;
+    let dst = hosts.(0) in
+    let degree = min degree (n - 1) in
+    let size = max 1 (agg / degree) in
+    List.init degree (fun i ->
+        Flow.make ~id:(id_base + i) ~src:hosts.(1 + i) ~dst ~size ~arrival:at ~is_incast:true ())
+  end
+
+let apply t ~env ~inj ?(id_base = 1_000_000) () =
+  let sim = Runner.sim env in
+  let topo = Runner.topo env in
+  let extra = ref [] in
+  let next_base = ref id_base in
+  List.iter
+    (fun action ->
+      match action with
+      | Link_down { at; sel } ->
+        let gid = resolve topo sel in
+        ignore (Sim.at sim at (fun () -> Injector.link_down inj ~gid))
+      | Link_up { at; sel } ->
+        let gid = resolve topo sel in
+        ignore (Sim.at sim at (fun () -> Injector.link_up inj ~gid))
+      | Flap { at; sel; down_for; period; count } ->
+        Injector.flap inj ~gid:(resolve topo sel) ~start:at ~down_for ~period ~count
+      | Reboot { at; switch; down_for } ->
+        let switches = Runner.switches env in
+        let node = Switch.node_id switches.(switch mod Array.length switches) in
+        ignore
+          (Sim.at sim at (fun () -> ignore (Injector.reboot_switch inj ~node ?down_for ())))
+      | Loss_burst { at; dur; p; pkts; lseed } ->
+        ignore
+          (Sim.at sim at (fun () ->
+               let l = Loss.create ~seed:lseed in
+               Loss.add_prob l ~p (matcher pkts);
+               Injector.set_loss_everywhere inj l));
+        (* the burst owns every port's loss slot for its duration *)
+        ignore (Sim.at sim (at + dur) (fun () -> Injector.clear_loss_everywhere inj))
+      | Incast { at; degree; agg; iseed } ->
+        let flows = incast_flows topo ~at ~degree ~agg ~iseed ~id_base:!next_base in
+        next_base := !next_base + List.length flows;
+        Runner.inject env flows;
+        extra := !extra @ flows)
+    t.sc_actions;
+  !extra
+
+(* ------------------------------------------------------------------ *)
+(* Canonical rendering *)
+
+let sel_to_string = function
+  | Core i -> Printf.sprintf "core:%d" i
+  | Uplink i -> Printf.sprintf "uplink:%d" i
+  | Gid g -> Printf.sprintf "gid:%d" g
+
+let pkts_to_string = function
+  | All -> "all"
+  | Data -> "data"
+  | Ctrl -> "ctrl"
+  | Resumes -> "resume"
+
+let action_to_string = function
+  | Link_down { at; sel } -> Printf.sprintf "link_down at=%d sel=%s" at (sel_to_string sel)
+  | Link_up { at; sel } -> Printf.sprintf "link_up at=%d sel=%s" at (sel_to_string sel)
+  | Flap { at; sel; down_for; period; count } ->
+    Printf.sprintf "flap at=%d sel=%s down_for=%d period=%d count=%d" at (sel_to_string sel)
+      down_for period count
+  | Reboot { at; switch; down_for } ->
+    Printf.sprintf "reboot at=%d switch=%d down_for=%s" at switch
+      (match down_for with None -> "-" | Some d -> string_of_int d)
+  | Loss_burst { at; dur; p; pkts; lseed } ->
+    Printf.sprintf "loss_burst at=%d dur=%d p=%.4f pkts=%s seed=%d" at dur p
+      (pkts_to_string pkts) lseed
+  | Incast { at; degree; agg; iseed } ->
+    Printf.sprintf "incast at=%d degree=%d agg=%d seed=%d" at degree agg iseed
+
+let to_string t =
+  String.concat "\n"
+    (Printf.sprintf "scenario %s" t.sc_name
+    :: List.map (fun a -> "  " ^ action_to_string a) t.sc_actions)

@@ -192,6 +192,8 @@ let set_on_dequeue t f = t.on_dequeue <- f
 
 let set_on_pause t f = t.on_pause <- f
 
+let on_pause t = t.on_pause
+
 let on_ctrl t pkt =
   match pkt.Packet.kind with
   | Packet.Pfc ->

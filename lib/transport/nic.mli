@@ -67,6 +67,11 @@ val set_on_dequeue : t -> (int -> unit) -> unit
     them. *)
 val set_on_pause : t -> (queue:int -> paused:bool -> unit) -> unit
 
+(** The currently installed pause tap (a no-op if none was set). Monitors
+    that want to observe pauses without stealing them from the telemetry
+    layer read the old tap, then install a closure that calls it first. *)
+val on_pause : t -> (queue:int -> paused:bool -> unit)
+
 (** Currently paused queues (credit-gated included; a PFC-paused uplink
     adds one). Walks the queue array — a sample-tick gauge, not a
     per-packet probe. *)

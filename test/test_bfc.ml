@@ -342,6 +342,63 @@ let prop_deadlock_random_dag_acyclic =
         pairs;
       not (Deadlock.has_cycle g))
 
+(* Naive reachability model: a cycle exists iff some vertex reaches itself
+   through at least one edge. Quadratic, but obviously correct. *)
+let model_has_cycle n edges =
+  let adj = Array.make n [] in
+  List.iter (fun (a, b) -> if not (List.mem b adj.(a)) then adj.(a) <- b :: adj.(a)) edges;
+  let reaches src target =
+    let seen = Array.make n false in
+    let rec go u =
+      List.exists
+        (fun v ->
+          v = target
+          || (not seen.(v))
+             && begin
+                  seen.(v) <- true;
+                  go v
+                end)
+        adj.(u)
+    in
+    go src
+  in
+  List.exists (fun v -> reaches v v) (List.init n (fun i -> i))
+
+(* Self-edges are filtered: a port never feeds itself in the domain. *)
+let random_graph pairs =
+  let edges = List.filter (fun (a, b) -> a <> b) pairs in
+  let g = Deadlock.create ~n:12 in
+  List.iter (fun (a, b) -> Deadlock.add_edge g ~src:a ~dst:b) edges;
+  (g, edges)
+
+let prop_deadlock_matches_model =
+  QCheck.Test.make ~name:"has_cycle agrees with naive DFS model" ~count:300
+    QCheck.(list (pair (int_range 0 11) (int_range 0 11)))
+    (fun pairs ->
+      let g, edges = random_graph pairs in
+      Deadlock.has_cycle g = model_has_cycle 12 edges)
+
+let prop_deadlock_witness_is_cycle =
+  QCheck.Test.make ~name:"find_cycle witness is a real simple cycle" ~count:300
+    QCheck.(list (pair (int_range 0 11) (int_range 0 11)))
+    (fun pairs ->
+      let g, _ = random_graph pairs in
+      let es = Deadlock.edges g in
+      let has_edge a b = List.mem (a, b) es in
+      match Deadlock.find_cycle g with
+      | None -> not (Deadlock.has_cycle g)
+      | Some [] -> false
+      | Some (v0 :: _ as c) ->
+        let rec chained = function
+          | [ last ] -> has_edge last v0
+          | a :: (b :: _ as rest) -> has_edge a b && chained rest
+          | [] -> false
+        in
+        Deadlock.has_cycle g
+        && List.length c >= 2
+        && chained c
+        && List.length (List.sort_uniq compare c) = List.length c)
+
 (* ------------------------------- Models ---------------------------- *)
 
 let test_model_headline_claim () =
@@ -416,6 +473,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_pause_counter_invariant;
     QCheck_alcotest.to_alcotest prop_dqa_no_sharing_when_flows_fit;
     QCheck_alcotest.to_alcotest prop_deadlock_random_dag_acyclic;
+    QCheck_alcotest.to_alcotest prop_deadlock_matches_model;
+    QCheck_alcotest.to_alcotest prop_deadlock_witness_is_cycle;
     QCheck_alcotest.to_alcotest prop_model_worst_x_maximizes;
     QCheck_alcotest.to_alcotest prop_active_flows_pmf_sums;
   ]

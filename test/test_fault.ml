@@ -243,6 +243,55 @@ let test_reboot_conservation () =
     (Runner.completed env);
   check Alcotest.int "conservation holds across the wipe" 0 (Auditor.violation_count aud)
 
+let test_reboot_respects_prior_outage () =
+  (* Regression: a reboot's down_for schedule must compose with existing
+     link faults. The pre-downed bottleneck link stays down through the
+     reboot's restore sweep (no early resurrection, no double-counted
+     fault_links_down), and a *fresh* outage of a reboot-downed link is
+     not clobbered by the reboot's stale restore timer. *)
+  let module Registry = Bfc_obs.Registry in
+  let st, env, _ = star_incast ~watchdog:None () in
+  let sim = Runner.sim env in
+  let reg = Registry.create () in
+  let inj = Injector.attach ~registry:reg env in
+  let g_prior = st.Topology.st_bottleneck_gid in
+  let g_other =
+    let ports = Topology.ports (Runner.topo env) st.Topology.st_switch in
+    let found = ref (-1) in
+    Array.iter (fun p -> if !found < 0 && Port.gid p <> g_prior then found := Port.gid p) ports;
+    !found
+  in
+  let links_down () =
+    int_of_float (List.assoc "fault_links_down" (Registry.sample_gauges reg))
+  in
+  Injector.link_down inj ~gid:g_prior;
+  let before = links_down () in
+  ignore
+    (Sim.at sim (Time.us 10.0) (fun () ->
+         ignore (Injector.reboot_switch inj ~node:st.Topology.st_switch ~down_for:(Time.us 20.0) ())));
+  (* while the reboot holds g_other down, an independent fault cycles it:
+     up, then down again -- a new outage the stale timer must not undo *)
+  ignore
+    (Sim.at sim (Time.us 20.0) (fun () ->
+         Injector.link_up inj ~gid:g_other;
+         Injector.link_down inj ~gid:g_other));
+  let after_restore = ref (-1) in
+  let prior_still_down = ref false in
+  let fresh_still_down = ref false in
+  ignore
+    (Sim.at sim (Time.us 40.0) (fun () ->
+         after_restore := links_down ();
+         prior_still_down := Injector.is_down inj ~gid:g_prior;
+         fresh_still_down := Injector.is_down inj ~gid:g_other;
+         Injector.link_up inj ~gid:g_prior;
+         Injector.link_up inj ~gid:g_other));
+  ignore (Sim.run_until_idle sim);
+  check Alcotest.int "prior outage covers both directions" 2 before;
+  Alcotest.(check bool) "reboot restore leaves the prior outage down" true !prior_still_down;
+  Alcotest.(check bool) "stale reboot timer spares the fresh outage" true !fresh_still_down;
+  check Alcotest.int "exactly the two live outages remain" 4 !after_restore;
+  check Alcotest.int "explicit link_up clears everything" 0 (links_down ())
+
 let test_flap_rejects_bad_schedule () =
   let _, env, _ = star_incast ~watchdog:None () in
   let inj = Injector.attach env in
@@ -263,5 +312,6 @@ let suite =
     Alcotest.test_case "link flap bfc" `Quick test_link_flap_bfc;
     Alcotest.test_case "link flap pfc" `Quick test_link_flap_pfc;
     Alcotest.test_case "reboot conservation" `Quick test_reboot_conservation;
+    Alcotest.test_case "reboot respects prior outage" `Quick test_reboot_respects_prior_outage;
     Alcotest.test_case "flap validates schedule" `Quick test_flap_rejects_bad_schedule;
   ]

@@ -14,6 +14,7 @@ let () =
       ("extra", Test_extra.suite);
       ("final", Test_final.suite);
       ("fault", Test_fault.suite);
+      ("stress", Test_stress.suite);
       ("lint", Test_lint.suite);
       ("perf", Test_perf.suite);
       ("obs", Test_obs.suite);
