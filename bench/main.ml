@@ -25,6 +25,13 @@
                                                  vs the clean run (adds a
                                                  "stress" block; combines
                                                  with --macro/--sched)
+     dune exec bench/main.exe -- --ir         -- hand-written dataplane vs
+                                                 compiled pipeline IR on the
+                                                 same workload: equal event
+                                                 counts asserted, events/sec
+                                                 ratio recorded (adds an "ir"
+                                                 block; combines with the
+                                                 flags above)
      dune exec bench/main.exe -- --engine-profile
                                               -- one quick run, engine
                                                  self-profile JSON on stdout *)
@@ -247,6 +254,45 @@ let run_macro ~jobs () =
     par_secs speedup_json profile_json comparison
 
 (* ------------------------------------------------------------------ *)
+(* IR benchmark: the same quick reference workload through the hand-written
+   dataplane hooks vs the compiled pipeline IR (Runner.use_ir). The two
+   runs must execute the identical event count — the IR lowering is
+   byte-identical by construction — so the only question is throughput:
+   what the op-array dispatch costs relative to the fused hand-written
+   closures. CI gates on the ratio. *)
+
+let run_ir () =
+  Printf.printf "\n################ ir benchmark: hand-written vs compiled pipeline\n%!";
+  let leg name use_ir =
+    let setup =
+      {
+        (quick_setup 1) with
+        Exp_common.sp_params = (fun p -> { p with Runner.use_ir });
+      }
+    in
+    let r, secs = time_run (fun () -> Exp_common.run_std setup) in
+    let events = Runner.events_executed r.Exp_common.env in
+    let eps = float_of_int events /. secs in
+    Printf.printf "  [%-5s] events %d, wall %.2f s, %.0f events/sec\n%!" name events secs eps;
+    (events, secs, eps)
+  in
+  let hand_e, hand_s, hand_eps = leg "hand" false in
+  let ir_e, ir_s, ir_eps = leg "ir" true in
+  if hand_e <> ir_e then
+    failwith
+      (Printf.sprintf "ir differential diverged: hand executed %d events, ir %d" hand_e ir_e);
+  let ratio = ir_eps /. hand_eps in
+  Printf.printf "  ir vs hand            %.2fx events/sec\n%!" ratio;
+  Printf.sprintf
+    {|"ir": {
+    "workload": "run_std quick bfc seed=1, hand hooks vs compiled pipeline IR",
+    "hand": { "events": %d, "seconds": %.3f, "events_per_sec": %.0f },
+    "ir": { "events": %d, "seconds": %.3f, "events_per_sec": %.0f },
+    "ratio": %.3f
+  }|}
+    hand_e hand_s hand_eps ir_e ir_s ir_eps ratio
+
+(* ------------------------------------------------------------------ *)
 (* Stress benchmark: the same quick reference workload, clean vs with the
    fault injector, a flap-storm scenario and the stress detectors all
    attached — what the adversity machinery costs in engine throughput. *)
@@ -422,6 +468,7 @@ let () =
   let macro = ref false in
   let sched = ref false in
   let stress = ref false in
+  let ir = ref false in
   let csv_dir = ref None in
   let jobs = ref (Pool.recommended_jobs ()) in
   let bench_out = ref "BENCH_engine.json" in
@@ -448,6 +495,9 @@ let () =
     | "--stress" :: rest ->
       stress := true;
       parse rest
+    | "--ir" :: rest ->
+      ir := true;
+      parse rest
     | "--engine-profile" :: _ ->
       (* one quick run, engine self-profile JSON on stdout (--profile is
          taken by the scale selector, hence the distinct flag name) *)
@@ -465,11 +515,12 @@ let () =
       parse rest
   in
   parse args;
-  if !macro || !sched || !stress then begin
+  if !macro || !sched || !stress || !ir then begin
     let blocks =
       (if !macro then [ run_macro ~jobs:!jobs () ] else [])
       @ (if !sched then [ run_sched () ] else [])
-      @ if !stress then [ run_stress () ] else []
+      @ (if !stress then [ run_stress () ] else [])
+      @ if !ir then [ run_ir () ] else []
     in
     write_bench ~out:!bench_out blocks
   end

@@ -171,7 +171,7 @@ let attach sw cfg =
       cfg;
       ft = Flow_table.create ~egresses:n_ports ~queues_per_port:nq ~mult:cfg.table_mult;
       dqa = Dqa.create ~egresses:n_ports ~queues:(nq - 1) ~policy:cfg.assignment ~rng;
-      sticky = int_of_float (cfg.sticky_hrtt_mult *. float_of_int (Switch.max_hop_rtt sw));
+      sticky = Threshold.sticky_window sw ~mult:cfg.sticky_hrtt_mult;
       balances = Array.init n_ports (fun _ -> Balance.create ~queues:nq ~initial:cfg.credit_bytes);
       uncredited =
         Array.init n_ports (fun e ->

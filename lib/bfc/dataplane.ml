@@ -49,8 +49,7 @@ type t = {
   dqa : Dqa.t; (* domains: egress * classes + class *)
   sticky : Bfc_engine.Time.t;
   allow_bp : (in_port:int -> egress:int -> bool) ref;
-  hrtt_for : int array; (* per egress: max 1-hop RTT over the ingresses feeding it *)
-  th_tables : Threshold.table array;
+  th : Threshold.source;
       (* per egress: Th over N_active, precomputed at attach time like the
          control-plane-populated match-action table on the hardware — the
          per-packet path does integer lookups only *)
@@ -72,9 +71,7 @@ let flow_table t = t.ft
 let data_queues t = (t.qpc - 1) * t.classes
 
 let threshold t ~egress =
-  match t.cfg.fixed_th with
-  | Some b -> b
-  | None -> Threshold.lookup t.th_tables.(egress) ~n_active:(Switch.n_active t.sw ~egress)
+  Threshold.get t.th ~egress ~n_active:(Switch.n_active t.sw ~egress)
 
 let allow_backpressure t f = t.allow_bp := f
 
@@ -288,29 +285,7 @@ let attach sw cfg =
   let qpc = nq / classes in
   if qpc < 2 then invalid_arg "Dataplane.attach: need at least 2 queues per class";
   let n_ports = Switch.n_ports sw in
-  (* Th uses the max 1-hop RTT across the ingress ports that can feed an
-     egress, i.e. every port but the egress itself (§3.3.2: "we use the max
-     of HRTT across all the ingresses"); this matters on asymmetric
-     topologies like the cross-DC WAN link (App. A.9). *)
-  let hrtt_for =
-    Array.init n_ports (fun egress ->
-        let m = ref 0 in
-        for p = 0 to n_ports - 1 do
-          if p <> egress || n_ports = 1 then
-            m := max !m (Bfc_net.Port.hop_rtt (Switch.port sw p))
-        done;
-        !m)
-  in
   let rng = Bfc_util.Rng.create (cfg.seed + (Switch.node_id sw * 7919)) in
-  (* N_active is bounded by queues/port, so the whole Th function fits in a
-     small per-egress table; populating it here is the control-plane side of
-     the hardware split. *)
-  let th_tables =
-    Array.init n_ports (fun egress ->
-        Threshold.table ~hrtt:hrtt_for.(egress)
-          ~gbps:(Bfc_net.Port.gbps (Switch.port sw egress))
-          ~max_active:nq ~factor:cfg.th_factor)
-  in
   let t =
     {
       sw;
@@ -321,10 +296,9 @@ let attach sw cfg =
       pc = Pause_counter.create ~ingresses:n_ports ~max_upstream_q:cfg.max_upstream_q;
       dqa =
         Dqa.create ~egresses:(n_ports * classes) ~queues:(qpc - 1) ~policy:cfg.assignment ~rng;
-      sticky = int_of_float (cfg.sticky_hrtt_mult *. float_of_int (Switch.max_hop_rtt sw));
+      sticky = Threshold.sticky_window sw ~mult:cfg.sticky_hrtt_mult;
       allow_bp = ref (fun ~in_port:_ ~egress:_ -> true);
-      hrtt_for;
-      th_tables;
+      th = Threshold.source_for_switch sw ~fixed_th:cfg.fixed_th ~factor:cfg.th_factor;
       rng;
       st =
         {

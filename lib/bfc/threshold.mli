@@ -17,3 +17,25 @@ type table
 val table : hrtt:Bfc_engine.Time.t -> gbps:float -> max_active:int -> factor:float -> table
 
 val lookup : table -> n_active:int -> int
+
+(** Where a dataplane reads Th from: a fixed byte override (Fig. 7 sweeps)
+    or the per-egress precomputed tables. One accessor shared by the
+    hand-written dataplanes and the IR compiler, so the hot-path lookup
+    logic exists exactly once. *)
+type source = Fixed of int | Per_egress of table array
+
+(** Integer-only; safe on the per-packet path. *)
+val get : source -> egress:int -> n_active:int -> int
+
+(** Per-egress max one-hop RTT over the ingresses that can feed it
+    (§3.3.2: the max of HRTT across all the ingresses). *)
+val hrtt_per_egress : Bfc_switch.Switch.t -> Bfc_engine.Time.t array
+
+(** Control-plane population of a switch's threshold source from its port
+    speeds and hop RTTs. *)
+val source_for_switch :
+  Bfc_switch.Switch.t -> fixed_th:int option -> factor:float -> source
+
+(** Sticky queue-reassignment window: [mult] x the switch's max one-hop
+    RTT (paper: 2 HRTT). *)
+val sticky_window : Bfc_switch.Switch.t -> mult:float -> Bfc_engine.Time.t

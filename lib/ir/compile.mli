@@ -1,0 +1,44 @@
+(** Compiler from validated IR pipelines to the zero-alloc hot path.
+
+    [attach] validates, resolves every action to a flat op array per
+    switch hook, and installs integer-only executors over the same flat
+    state the hand-written dataplanes use. Raises {!Infeasible} when the
+    validator reports errors — an invalid pipeline can never reach the
+    hot path. *)
+
+(** The validator errors that rejected the pipeline. *)
+exception Infeasible of Validate.diag list
+
+type t
+
+(** [attach p sw] — validate [p], lower it, and install its hooks on
+    [sw]. The pipeline's [meta] dimensions must match the switch.
+    @raise Infeasible if validation reports errors.
+    @raise Invalid_argument on a switch/pipeline dimension mismatch. *)
+val attach : Ir.pipeline -> Bfc_switch.Switch.t -> t
+
+(** Build the BFC pipeline for this switch's dimensions and attach it. *)
+val attach_bfc : Bfc_switch.Switch.t -> Bfc_core.Dataplane.config -> t
+
+(** Build the credit pipeline for this switch's dimensions and attach it. *)
+val attach_credit : Bfc_switch.Switch.t -> Bfc_core.Credit_dataplane.config -> t
+
+val switch : t -> Bfc_switch.Switch.t
+
+val pipeline : t -> Ir.pipeline
+
+(** Same counters as the hand-written BFC dataplane. *)
+val stats : t -> Bfc_core.Dataplane.stats
+
+(** Hop_credit packets sent (credit pipelines). *)
+val credits_sent : t -> int
+
+(** Per-(egress, queue) byte balance (credit pipelines). *)
+val balance : t -> egress:int -> queue:int -> int
+
+(** Restrict which (in_port, egress) pairs may generate backpressure
+    (deadlock experiments), as [Dataplane.allow_backpressure]. *)
+val allow_backpressure : t -> (in_port:int -> egress:int -> bool) -> unit
+
+(** Wipe compiled-program state on switch reboot. *)
+val reset : t -> unit

@@ -1,0 +1,317 @@
+(* The typed match-action pipeline IR ("dataplane as data").
+
+   A pipeline is a list of stages, each bound to one switch hook (the
+   parser/deparser analogy: classify = ingress parser + match, enqueue =
+   ingress pipeline tail, dequeue = egress pipeline / recirculated header,
+   ctrl = the reacting side). Stages declare the bounded match tables and
+   register files they own and the constant-time actions they run; the
+   explicit dependency edges between stages make cross-stage state sharing
+   visible to the validator instead of implicit in OCaml closures.
+
+   Everything here is plain data: no closures, no behavior. Validate checks
+   a pipeline against a hardware budget; Compile lowers a valid pipeline
+   onto the zero-alloc hot path. *)
+
+type match_kind = Exact | Ternary
+
+let match_kind_name = function Exact -> "exact" | Ternary -> "ternary"
+
+(* Header + metadata fields a match key can inspect. Bit widths drive the
+   SRAM accounting (key bits are stored alongside each entry). *)
+type field =
+  | F_kind
+  | F_prio
+  | F_fid_hash
+  | F_is_incast
+  | F_in_port
+  | F_egress
+  | F_queue
+  | F_upstream_q
+  | F_bp_sampled
+  | F_bp_counted
+  | F_pkt_bytes
+  | F_n_active
+  | F_queue_bytes
+  | F_ctrl_a
+  | F_ctrl_b
+
+let field_name = function
+  | F_kind -> "kind"
+  | F_prio -> "prio"
+  | F_fid_hash -> "fid_hash"
+  | F_is_incast -> "is_incast"
+  | F_in_port -> "in_port"
+  | F_egress -> "egress"
+  | F_queue -> "queue"
+  | F_upstream_q -> "upstream_q"
+  | F_bp_sampled -> "bp_sampled"
+  | F_bp_counted -> "bp_counted"
+  | F_pkt_bytes -> "pkt_bytes"
+  | F_n_active -> "n_active"
+  | F_queue_bytes -> "queue_bytes"
+  | F_ctrl_a -> "ctrl_a"
+  | F_ctrl_b -> "ctrl_b"
+
+let field_bits = function
+  | F_kind -> 4
+  | F_prio -> 3
+  | F_fid_hash -> 32
+  | F_is_incast -> 1
+  | F_in_port -> 8
+  | F_egress -> 8
+  | F_queue -> 8
+  | F_upstream_q -> 9
+  | F_bp_sampled -> 1
+  | F_bp_counted -> 1
+  | F_pkt_bytes -> 16
+  | F_n_active -> 8
+  | F_queue_bytes -> 24
+  | F_ctrl_a -> 16
+  | F_ctrl_b -> 24
+
+(* Where an action's randomness / time comes from. Only [Seeded] and
+   [Sim_clock] are compilable; the ambient variants exist so infeasible
+   fixtures can state the violation the DT rules catch in hand-written
+   code. *)
+type rand_source = Seeded | Ambient
+
+type clock = Sim_clock | Wall_clock
+
+(* Threshold source for Threshold_mark: the per-egress precomputed table
+   (populated at control-plane time from HRTT x gbps / N_active) or a
+   fixed byte override (Fig. 7 sweeps, Ideal-* schemes). *)
+type th_spec = Th_table of { factor : float } | Th_fixed of int
+
+type table = {
+  t_name : string;
+  t_keys : (field * match_kind) list;
+  t_entries : int; (* <= 0 models an unbounded structure: always rejected *)
+  t_entry_bits : int;
+}
+
+type register = {
+  r_name : string;
+  r_entries : int;
+  r_bits : int;
+  r_init : int; (* initial value of every cell (credit balances) *)
+}
+
+(* Constant-time action primitives. Float-valued parameters (sampling
+   rate, sticky multiplier, threshold factor) are control-plane constants
+   used to populate tables at load time, exactly like the paper's Th
+   table; per-packet execution is integer-only. The last four
+   constructors are deliberately infeasible and exist only so validator
+   fixtures can be expressed in the IR itself. *)
+type action =
+  (* BFC ingress *)
+  | Incast_relabel
+  | Sample of { rate : float; rand : rand_source }
+  | Flow_lookup
+  | Assign_queue of {
+      policy : Bfc_core.Dqa.policy;
+      sticky_hrtt_mult : float;
+      clock : clock;
+      rand : rand_source;
+    }
+  | Bump_flow_size of { clock : clock }
+  | Collision_probe
+  | Mark_occupied
+  | Threshold_mark of { th : th_spec }
+  (* BFC egress (recirculated-header work) *)
+  | Unmark_resume
+  | Dec_flow_size of { clock : clock }
+  | Mark_empty
+  | Stamp_upstream_q
+  | Drop_undo_size
+  (* BFC reacting side *)
+  | Apply_pause
+  (* credit dataplane *)
+  | Credit_assign of { sticky_hrtt_mult : float; clock : clock }
+  | Note_upstream
+  | Credit_mark_occupied
+  | Credit_regate
+  | Grant_back
+  | Credit_consume
+  | Credit_dec_size of { clock : clock }
+  | Credit_mark_empty
+  | Credit_replenish
+  (* infeasible-by-construction (validator fixtures only) *)
+  | Float_compute of string
+  | Unbounded_loop of string
+  | Linked_scan of string
+  | Debug_log of string
+
+let action_name = function
+  | Incast_relabel -> "incast_relabel"
+  | Sample _ -> "sample"
+  | Flow_lookup -> "flow_lookup"
+  | Assign_queue _ -> "assign_queue"
+  | Bump_flow_size _ -> "bump_flow_size"
+  | Collision_probe -> "collision_probe"
+  | Mark_occupied -> "mark_occupied"
+  | Threshold_mark _ -> "threshold_mark"
+  | Unmark_resume -> "unmark_resume"
+  | Dec_flow_size _ -> "dec_flow_size"
+  | Mark_empty -> "mark_empty"
+  | Stamp_upstream_q -> "stamp_upstream_q"
+  | Drop_undo_size -> "drop_undo_size"
+  | Apply_pause -> "apply_pause"
+  | Credit_assign _ -> "credit_assign"
+  | Note_upstream -> "note_upstream"
+  | Credit_mark_occupied -> "credit_mark_occupied"
+  | Credit_regate -> "credit_regate"
+  | Grant_back -> "grant_back"
+  | Credit_consume -> "credit_consume"
+  | Credit_dec_size _ -> "credit_dec_size"
+  | Credit_mark_empty -> "credit_mark_empty"
+  | Credit_replenish -> "credit_replenish"
+  | Float_compute _ -> "float_compute"
+  | Unbounded_loop _ -> "unbounded_loop"
+  | Linked_scan _ -> "linked_scan"
+  | Debug_log _ -> "debug_log"
+
+(* Switch hooks a stage can bind to, in packet-lifecycle order. A stage
+   whose dependencies point at an earlier hook's state runs after that
+   state was written in a previous pipeline pass; touching it from the
+   egress side requires the recirculated-header mechanism (paper §3.3),
+   which the stage declares with [s_recirc]. *)
+type hook = H_classify | H_enqueue | H_dequeue | H_drop | H_ctrl
+
+let hook_name = function
+  | H_classify -> "classify"
+  | H_enqueue -> "enqueue"
+  | H_dequeue -> "dequeue"
+  | H_drop -> "drop"
+  | H_ctrl -> "ctrl"
+
+let hook_rank = function
+  | H_classify -> 0
+  | H_enqueue -> 1
+  | H_dequeue -> 2
+  | H_drop -> 3
+  | H_ctrl -> 4
+
+type stage = {
+  s_name : string;
+  s_hook : hook;
+  s_tables : table list;
+  s_registers : register list;
+  s_actions : action list;
+  s_deps : string list; (* names of stages whose tables/registers this stage reads or writes *)
+  s_recirc : bool; (* egress-side update applied via the recirculated header *)
+}
+
+(* Logical switch dimensions the pipeline is sized for. Compile checks
+   them against the live switch; Validate uses them to size tables. *)
+type meta = {
+  m_name : string;
+  m_ports : int;
+  m_queues_per_port : int;
+  m_classes : int;
+  m_max_upstream_q : int;
+  m_table_mult : int;
+  m_seed : int;
+  m_bitmap_period : Bfc_engine.Time.t option;
+}
+
+(* Hardware budget the validator checks against (Tofino2-class). The
+   per-stage SRAM pool is generous because a logical table may span the
+   paired physical stages of one MAU grid row. *)
+type budget = {
+  b_max_stages : int;
+  b_max_actions_per_stage : int;
+  b_sram_bits_per_stage : int;
+  b_max_table_entries : int;
+}
+
+let tofino2_budget =
+  {
+    b_max_stages = 20;
+    b_max_actions_per_stage = 4;
+    b_sram_bits_per_stage = 20_000_000;
+    b_max_table_entries = 1 lsl 20;
+  }
+
+type pipeline = { p_meta : meta; p_budget : budget; p_stages : stage list }
+
+(* ------------------------------------------------------------------ *)
+(* SRAM accounting *)
+
+let key_bits keys = List.fold_left (fun acc (f, _) -> acc + field_bits f) 0 keys
+
+let table_bits t = t.t_entries * (t.t_entry_bits + key_bits t.t_keys)
+
+let register_bits r = r.r_entries * r.r_bits
+
+let stage_table_bits s = List.fold_left (fun acc t -> acc + table_bits t) 0 s.s_tables
+
+let stage_register_bits s = List.fold_left (fun acc r -> acc + register_bits r) 0 s.s_registers
+
+let stage_bits s = stage_table_bits s + stage_register_bits s
+
+(* ------------------------------------------------------------------ *)
+(* Textual dump (bfc_sim ir --dump) *)
+
+let action_to_string = function
+  | Sample { rate; rand } ->
+    Printf.sprintf "sample(rate=%g%s)" rate (match rand with Seeded -> "" | Ambient -> ", ambient-rng")
+  | Assign_queue { policy; sticky_hrtt_mult; clock; rand } ->
+    Printf.sprintf "assign_queue(%s, sticky=%gxHRTT%s%s)"
+      (match policy with
+      | Bfc_core.Dqa.Dynamic -> "dynamic"
+      | Bfc_core.Dqa.Stochastic -> "stochastic"
+      | Bfc_core.Dqa.Single -> "single")
+      sticky_hrtt_mult
+      (match clock with Sim_clock -> "" | Wall_clock -> ", wall-clock")
+      (match rand with Seeded -> "" | Ambient -> ", ambient-rng")
+  | Threshold_mark { th } -> (
+    match th with
+    | Th_table { factor } -> Printf.sprintf "threshold_mark(table, factor=%g)" factor
+    | Th_fixed b ->
+      if b = max_int then "threshold_mark(fixed=inf)" else Printf.sprintf "threshold_mark(fixed=%dB)" b)
+  | Credit_assign { sticky_hrtt_mult; clock } ->
+    Printf.sprintf "credit_assign(sticky=%gxHRTT%s)" sticky_hrtt_mult
+      (match clock with Sim_clock -> "" | Wall_clock -> ", wall-clock")
+  | Float_compute what -> Printf.sprintf "float_compute(%s)" what
+  | Unbounded_loop what -> Printf.sprintf "unbounded_loop(%s)" what
+  | Linked_scan what -> Printf.sprintf "linked_scan(%s)" what
+  | Debug_log what -> Printf.sprintf "debug_log(%s)" what
+  | a -> action_name a
+
+let table_to_string t =
+  Printf.sprintf "table %s [%s] entries=%d entry_bits=%d (%d Kb)" t.t_name
+    (String.concat ", "
+       (List.map (fun (f, k) -> Printf.sprintf "%s:%s" (field_name f) (match_kind_name k)) t.t_keys))
+    t.t_entries t.t_entry_bits
+    (table_bits t / 1024)
+
+let register_to_string r =
+  Printf.sprintf "register %s entries=%d bits=%d init=%d (%d Kb)" r.r_name r.r_entries r.r_bits
+    r.r_init (register_bits r / 1024)
+
+let dump p =
+  let buf = Buffer.create 2048 in
+  let m = p.p_meta in
+  Buffer.add_string buf
+    (Printf.sprintf "pipeline %s (ports=%d queues/port=%d classes=%d max_upstream_q=%d seed=%d)\n"
+       m.m_name m.m_ports m.m_queues_per_port m.m_classes m.m_max_upstream_q m.m_seed);
+  Buffer.add_string buf
+    (Printf.sprintf "budget: stages<=%d actions/stage<=%d sram/stage<=%.1f Mb table_entries<=%d\n"
+       p.p_budget.b_max_stages p.p_budget.b_max_actions_per_stage
+       (float_of_int p.p_budget.b_sram_bits_per_stage /. 1.0e6)
+       p.p_budget.b_max_table_entries);
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "stage %2d %-16s hook=%-8s%s%s\n" (i + 1) s.s_name (hook_name s.s_hook)
+           (if s.s_recirc then " recirc" else "")
+           (match s.s_deps with [] -> "" | ds -> " deps=" ^ String.concat "," ds));
+      List.iter (fun t -> Buffer.add_string buf ("       " ^ table_to_string t ^ "\n")) s.s_tables;
+      List.iter
+        (fun r -> Buffer.add_string buf ("       " ^ register_to_string r ^ "\n"))
+        s.s_registers;
+      List.iter
+        (fun a -> Buffer.add_string buf ("       action " ^ action_to_string a ^ "\n"))
+        s.s_actions)
+    p.p_stages;
+  Buffer.contents buf

@@ -1,0 +1,165 @@
+(** Typed match-action pipeline IR ("dataplane as data", §3.3).
+
+    A {!pipeline} is pure data: stages bound to switch hooks, each owning
+    bounded match {!table}s and {!register} files and running
+    constant-time {!action}s, with explicit cross-stage dependency edges.
+    {!Validate} checks a pipeline against a hardware {!budget};
+    {!Compile} lowers a valid pipeline onto the zero-alloc hot path. *)
+
+type match_kind = Exact | Ternary
+
+val match_kind_name : match_kind -> string
+
+(** Header + metadata fields a match key can inspect. *)
+type field =
+  | F_kind
+  | F_prio
+  | F_fid_hash
+  | F_is_incast
+  | F_in_port
+  | F_egress
+  | F_queue
+  | F_upstream_q
+  | F_bp_sampled
+  | F_bp_counted
+  | F_pkt_bytes
+  | F_n_active
+  | F_queue_bytes
+  | F_ctrl_a
+  | F_ctrl_b
+
+val field_name : field -> string
+
+(** Key width, which the SRAM accounting stores alongside each entry. *)
+val field_bits : field -> int
+
+(** Randomness provenance: only [Seeded] is compilable; [Ambient] exists
+    so infeasible fixtures can state the DT001 violation in the IR. *)
+type rand_source = Seeded | Ambient
+
+(** Clock provenance: only [Sim_clock] is compilable (DT002). *)
+type clock = Sim_clock | Wall_clock
+
+(** Threshold source for [Threshold_mark]: the control-plane-precomputed
+    per-egress table (Th = HRTT x mu / N_active) or a fixed override. *)
+type th_spec = Th_table of { factor : float } | Th_fixed of int
+
+type table = {
+  t_name : string;
+  t_keys : (field * match_kind) list;
+  t_entries : int;  (** <= 0 models an unbounded structure: always rejected *)
+  t_entry_bits : int;
+}
+
+type register = {
+  r_name : string;
+  r_entries : int;
+  r_bits : int;
+  r_init : int;  (** initial value of every cell (credit balances) *)
+}
+
+(** Constant-time action primitives. Float parameters are control-plane
+    constants consumed at load time; per-packet execution is
+    integer-only. The last four constructors are deliberately infeasible
+    and exist only for validator fixtures. *)
+type action =
+  | Incast_relabel
+  | Sample of { rate : float; rand : rand_source }
+  | Flow_lookup
+  | Assign_queue of {
+      policy : Bfc_core.Dqa.policy;
+      sticky_hrtt_mult : float;
+      clock : clock;
+      rand : rand_source;
+    }
+  | Bump_flow_size of { clock : clock }
+  | Collision_probe
+  | Mark_occupied
+  | Threshold_mark of { th : th_spec }
+  | Unmark_resume
+  | Dec_flow_size of { clock : clock }
+  | Mark_empty
+  | Stamp_upstream_q
+  | Drop_undo_size
+  | Apply_pause
+  | Credit_assign of { sticky_hrtt_mult : float; clock : clock }
+  | Note_upstream
+  | Credit_mark_occupied
+  | Credit_regate
+  | Grant_back
+  | Credit_consume
+  | Credit_dec_size of { clock : clock }
+  | Credit_mark_empty
+  | Credit_replenish
+  | Float_compute of string
+  | Unbounded_loop of string
+  | Linked_scan of string
+  | Debug_log of string
+
+val action_name : action -> string
+
+(** Switch hooks, in packet-lifecycle order. *)
+type hook = H_classify | H_enqueue | H_dequeue | H_drop | H_ctrl
+
+val hook_name : hook -> string
+
+val hook_rank : hook -> int
+
+type stage = {
+  s_name : string;
+  s_hook : hook;
+  s_tables : table list;
+  s_registers : register list;
+  s_actions : action list;
+  s_deps : string list;
+      (** names of stages whose tables/registers this stage reads or writes *)
+  s_recirc : bool;  (** egress-side update applied via the recirculated header *)
+}
+
+(** Logical switch dimensions the pipeline is sized for. *)
+type meta = {
+  m_name : string;
+  m_ports : int;
+  m_queues_per_port : int;
+  m_classes : int;
+  m_max_upstream_q : int;
+  m_table_mult : int;
+  m_seed : int;
+  m_bitmap_period : Bfc_engine.Time.t option;
+}
+
+(** Hardware budget the validator checks against. *)
+type budget = {
+  b_max_stages : int;
+  b_max_actions_per_stage : int;
+  b_sram_bits_per_stage : int;
+  b_max_table_entries : int;
+}
+
+val tofino2_budget : budget
+
+type pipeline = { p_meta : meta; p_budget : budget; p_stages : stage list }
+
+(** {2 SRAM accounting} *)
+
+val key_bits : (field * match_kind) list -> int
+
+val table_bits : table -> int
+
+val register_bits : register -> int
+
+val stage_table_bits : stage -> int
+
+val stage_register_bits : stage -> int
+
+val stage_bits : stage -> int
+
+(** {2 Rendering (bfc_sim ir --dump)} *)
+
+val action_to_string : action -> string
+
+val table_to_string : table -> string
+
+val register_to_string : register -> string
+
+val dump : pipeline -> string

@@ -1,0 +1,268 @@
+(* The static validator: bfc-lint's DF/DT rules recast as structural
+   checks on the IR. Where the lint pass pattern-matches OCaml syntax
+   post-hoc, these checks hold by construction for anything expressed in
+   the IR — a pipeline that passes cannot contain unbounded state (DF001),
+   non-constant work (DF002), cross-stage recursion (DF003), per-packet
+   float math (DF004), packet-path I/O (DF005), ambient randomness (DT001)
+   or wall-clock reads (DT002).
+
+   Diagnostics render in bfc-lint's exact `file:line:col: severity
+   [ID name] message` shape, with the stage position as the line and the
+   action position as the column, so editor tooling and the CI grep
+   patterns treat both checkers uniformly. *)
+
+type severity = Error | Warning
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+type diag = {
+  code : string; (* "DF001" .. "DT002", matching Bfclint.Rule ids *)
+  rule : string; (* kebab name, matching Bfclint.Rule names *)
+  severity : severity;
+  where : string; (* "<pipeline>.ir/<stage>" provenance *)
+  stage : int; (* 1-based stage position; 0 = pipeline level *)
+  action : int; (* 1-based action position; 0 = stage level *)
+  message : string;
+}
+
+let to_human d =
+  Printf.sprintf "%s:%d:%d: %s [%s %s] %s" d.where d.stage d.action (severity_name d.severity)
+    d.code d.rule d.message
+
+let compare_diag a b =
+  Stdlib.compare (a.stage, a.action, a.code, a.message) (b.stage, b.action, b.code, b.message)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+(* ------------------------------------------------------------------ *)
+
+let provenance (p : Ir.pipeline) stage =
+  match stage with
+  | None -> p.Ir.p_meta.Ir.m_name ^ ".ir"
+  | Some (s : Ir.stage) -> p.Ir.p_meta.Ir.m_name ^ ".ir/" ^ s.Ir.s_name
+
+let check (p : Ir.pipeline) =
+  let ds = ref [] in
+  let add ?stage ?(si = 0) ?(ai = 0) code rule severity message =
+    ds := { code; rule; severity; where = provenance p stage; stage = si; action = ai; message } :: !ds
+  in
+  let b = p.Ir.p_budget in
+  let stages = Array.of_list p.Ir.p_stages in
+  let n = Array.length stages in
+  (* --- stage roster: duplicates and the stage-count budget (DF002: more
+     stages than the hardware has means per-packet recirculation loops) --- *)
+  if n > b.Ir.b_max_stages then
+    add "DF002" "df-while" Error
+      (Printf.sprintf
+         "%d stages exceed the %d-stage budget: the program cannot finish in one pipeline pass \
+          (unbounded recirculation per packet)"
+         n b.Ir.b_max_stages);
+  let index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i s ->
+      (match Hashtbl.find_opt index s.Ir.s_name with
+      | Some j ->
+        add ~stage:s ~si:(i + 1) "DF003" "df-rec" Error
+          (Printf.sprintf "stage name %s already used by stage %d: dependency edges are ambiguous"
+             s.Ir.s_name (j + 1))
+      | None -> ());
+      Hashtbl.replace index s.Ir.s_name i)
+    stages;
+  (* --- per-stage resource budgets --- *)
+  Array.iteri
+    (fun i s ->
+      let si = i + 1 in
+      let n_actions = List.length s.Ir.s_actions in
+      if n_actions > b.Ir.b_max_actions_per_stage then
+        add ~stage:s ~si "DF002" "df-while" Error
+          (Printf.sprintf "%d actions exceed the %d-actions-per-stage budget" n_actions
+             b.Ir.b_max_actions_per_stage);
+      List.iter
+        (fun (t : Ir.table) ->
+          if t.Ir.t_entries <= 0 then
+            add ~stage:s ~si "DF001" "df-list" Error
+              (Printf.sprintf
+                 "table %s declares no bound on its entries: dataplane state must be fixed-size"
+                 t.Ir.t_name)
+          else if t.Ir.t_entries > b.Ir.b_max_table_entries then
+            add ~stage:s ~si "DF001" "df-list" Error
+              (Printf.sprintf "table %s has %d entries, over the %d-entry budget" t.Ir.t_name
+                 t.Ir.t_entries b.Ir.b_max_table_entries);
+          if t.Ir.t_keys = [] then
+            add ~stage:s ~si "DF001" "df-list" Error
+              (Printf.sprintf "table %s has no match key: lookups would need a scan" t.Ir.t_name))
+        s.Ir.s_tables;
+      List.iter
+        (fun (r : Ir.register) ->
+          if r.Ir.r_entries <= 0 || r.Ir.r_bits <= 0 then
+            add ~stage:s ~si "DF001" "df-list" Error
+              (Printf.sprintf "register %s is unbounded (%d entries x %d bits)" r.Ir.r_name
+                 r.Ir.r_entries r.Ir.r_bits))
+        s.Ir.s_registers;
+      let bits = Ir.stage_bits s in
+      if bits > b.Ir.b_sram_bits_per_stage then
+        add ~stage:s ~si "DF001" "df-list" Error
+          (Printf.sprintf "stage SRAM %.2f Mb exceeds the %.1f Mb per-stage budget"
+             (float_of_int bits /. 1.0e6)
+             (float_of_int b.Ir.b_sram_bits_per_stage /. 1.0e6)))
+    stages;
+  (* --- per-action feasibility / determinism --- *)
+  Array.iteri
+    (fun i s ->
+      let si = i + 1 in
+      List.iteri
+        (fun j a ->
+          let ai = j + 1 in
+          let rand r =
+            if r = Ir.Ambient then
+              add ~stage:s ~si ~ai "DT001" "det-random" Error
+                (Printf.sprintf "%s draws from ambient global randomness; use the seeded stream"
+                   (Ir.action_name a))
+          in
+          let clk c =
+            if c = Ir.Wall_clock then
+              add ~stage:s ~si ~ai "DT002" "det-wallclock" Error
+                (Printf.sprintf "%s reads the wall clock; timestamps must come from the sim clock"
+                   (Ir.action_name a))
+          in
+          match a with
+          | Ir.Sample { rand = r; _ } -> rand r
+          | Ir.Assign_queue { rand = r; clock = c; _ } ->
+            rand r;
+            clk c
+          | Ir.Bump_flow_size { clock = c }
+          | Ir.Dec_flow_size { clock = c }
+          | Ir.Credit_dec_size { clock = c }
+          | Ir.Credit_assign { clock = c; _ } ->
+            clk c
+          | Ir.Float_compute what ->
+            add ~stage:s ~si ~ai "DF004" "df-float" Error
+              (Printf.sprintf
+                 "per-packet float computation (%s): switch ALUs are integer-only; precompute a \
+                  lookup table at control-plane time"
+                 what)
+          | Ir.Unbounded_loop what ->
+            add ~stage:s ~si ~ai "DF002" "df-while" Error
+              (Printf.sprintf "unbounded per-packet loop (%s): every action must be constant-time"
+                 what)
+          | Ir.Linked_scan what ->
+            add ~stage:s ~si ~ai "DF001" "df-list" Error
+              (Printf.sprintf
+                 "per-packet linked scan (%s): pointer chasing has no match-action equivalent" what)
+          | Ir.Debug_log what ->
+            add ~stage:s ~si ~ai "DF005" "df-io" Warning
+              (Printf.sprintf "per-packet I/O (%s): use counters or the tracer instead" what)
+          | _ -> ())
+        s.Ir.s_actions)
+    stages;
+  (* --- cross-stage dependencies (DF003): unknown edges, pass-order
+     violations without recirculation, and cycles.
+
+     classify + enqueue share the ingress pipeline pass; dequeue + drop are
+     the egress side, which can only reach ingress-owned state through the
+     recirculated header (paper 3.3); ctrl is the reacting switch, a pass
+     of its own. Within a pass a stage may read state owned by a stage
+     physically before it, never after. --- *)
+  let pass_of = function
+    | Ir.H_classify | Ir.H_enqueue -> 0
+    | Ir.H_dequeue | Ir.H_drop -> 1
+    | Ir.H_ctrl -> 2
+  in
+  Array.iteri
+    (fun i s ->
+      let si = i + 1 in
+      List.iter
+        (fun dep ->
+          match Hashtbl.find_opt index dep with
+          | None ->
+            add ~stage:s ~si "DF003" "df-rec" Error
+              (Printf.sprintf "dependency on unknown stage %s" dep)
+          | Some j ->
+            let d = stages.(j) in
+            let p_s = pass_of s.Ir.s_hook and p_d = pass_of d.Ir.s_hook in
+            let r_s = Ir.hook_rank s.Ir.s_hook and r_d = Ir.hook_rank d.Ir.s_hook in
+            if p_s < p_d then
+              add ~stage:s ~si "DF003" "df-rec" Error
+                (Printf.sprintf
+                   "%s (%s hook) reads state of %s (%s hook), a later pipeline pass: impossible \
+                    without looping the packet"
+                   s.Ir.s_name (Ir.hook_name s.Ir.s_hook) d.Ir.s_name (Ir.hook_name d.Ir.s_hook))
+            else if p_s > p_d && not s.Ir.s_recirc then
+              add ~stage:s ~si "DF003" "df-rec" Error
+                (Printf.sprintf
+                   "%s (%s hook) touches %s-owned state of %s without declaring recirculation \
+                    (paper 3.3: egress updates ingress state via the recirculated header)"
+                   s.Ir.s_name (Ir.hook_name s.Ir.s_hook) (Ir.hook_name d.Ir.s_hook) d.Ir.s_name)
+            else if p_s = p_d && (r_s < r_d || (r_s = r_d && j >= i)) then
+              add ~stage:s ~si "DF003" "df-rec" Error
+                (Printf.sprintf
+                   "%s depends on %s which runs at or after it in the same pass: stages cannot \
+                    read forward"
+                   s.Ir.s_name d.Ir.s_name))
+        s.Ir.s_deps)
+    stages;
+  (* cycle detection over the dependency graph *)
+  let color = Array.make n 0 in
+  (* 0 unvisited, 1 on stack, 2 done *)
+  let cycle = ref None in
+  let rec visit path i =
+    if !cycle = None then
+      if color.(i) = 1 then
+        cycle :=
+          Some (List.rev (stages.(i).Ir.s_name :: path))
+      else if color.(i) = 0 then begin
+        color.(i) <- 1;
+        List.iter
+          (fun dep ->
+            match Hashtbl.find_opt index dep with
+            | Some j -> visit (stages.(i).Ir.s_name :: path) j
+            | None -> ())
+          stages.(i).Ir.s_deps;
+        color.(i) <- 2
+      end
+  in
+  for i = 0 to n - 1 do
+    visit [] i
+  done;
+  (match !cycle with
+  | Some names ->
+    add "DF003" "df-rec" Error
+      (Printf.sprintf "dependency cycle through %s: stage recursion has no hardware equivalent"
+         (String.concat " -> " names))
+  | None -> ());
+  List.sort compare_diag !ds
+
+(* ------------------------------------------------------------------ *)
+(* Budget report (bfc_sim ir --validate): stage count, per-stage SRAM and
+   register load, dependency edges. *)
+
+let report (p : Ir.pipeline) =
+  let buf = Buffer.create 1024 in
+  let b = p.Ir.p_budget in
+  let stages = p.Ir.p_stages in
+  Buffer.add_string buf
+    (Printf.sprintf "%-24s %d/%d stages\n" p.Ir.p_meta.Ir.m_name (List.length stages)
+       b.Ir.b_max_stages);
+  Buffer.add_string buf
+    (Printf.sprintf "  %-18s %-8s %7s %10s %10s  %s\n" "stage" "hook" "actions" "table_Kb"
+       "reg_Kb" "deps");
+  let worst = ref 0 in
+  List.iter
+    (fun s ->
+      let tb = Ir.stage_table_bits s and rb = Ir.stage_register_bits s in
+      if tb + rb > !worst then worst := tb + rb;
+      Buffer.add_string buf
+        (Printf.sprintf "  %-18s %-8s %7d %10d %10d  %s%s\n" s.Ir.s_name
+           (Ir.hook_name s.Ir.s_hook)
+           (List.length s.Ir.s_actions)
+           (tb / 1024) (rb / 1024)
+           (String.concat "," s.Ir.s_deps)
+           (if s.Ir.s_recirc then " [recirc]" else "")))
+    stages;
+  Buffer.add_string buf
+    (Printf.sprintf "  peak stage SRAM %.2f Mb of %.1f Mb budget\n"
+       (float_of_int !worst /. 1.0e6)
+       (float_of_int b.Ir.b_sram_bits_per_stage /. 1.0e6));
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Static feasibility + determinism validation of IR pipelines.
+
+    Re-implements bfc-lint's DF001-DF005 feasibility rules and the
+    applicable DT determinism rules as structural checks: bounded state
+    (DF001), constant per-packet work (DF002), acyclic pass-ordered stage
+    dependencies (DF003), integer-only packet math (DF004), no packet-path
+    I/O (DF005), seeded randomness (DT001), sim-clock time (DT002).
+    Diagnostics render in bfc-lint's [file:line:col: severity [ID name]
+    message] shape with stage/action positions as line/col. *)
+
+type severity = Error | Warning
+
+val severity_name : severity -> string
+
+type diag = {
+  code : string;  (** "DF001" .. "DT002", matching bfc-lint rule ids *)
+  rule : string;  (** kebab name, matching bfc-lint rule names *)
+  severity : severity;
+  where : string;  (** ["<pipeline>.ir/<stage>"] provenance *)
+  stage : int;  (** 1-based stage position; 0 = pipeline level *)
+  action : int;  (** 1-based action position; 0 = stage level *)
+  message : string;
+}
+
+val to_human : diag -> string
+
+(** All diagnostics for a pipeline, sorted by (stage, action, code). *)
+val check : Ir.pipeline -> diag list
+
+val errors : diag list -> diag list
+
+val has_errors : diag list -> bool
+
+(** Per-stage budget table: actions, table/register SRAM, deps, peak. *)
+val report : Ir.pipeline -> string

@@ -1,6 +1,18 @@
 (* File discovery, parsing and report rendering. *)
 
-let dataplane_files = [ "lib/bfc/dataplane.ml"; "lib/bfc/credit_dataplane.ml" ]
+(* Per-packet / per-event hot-path modules that get the feasibility family.
+   The two BFC dataplane programs are the original set (PR 2); the IR
+   compiler's execution engine and the stress/obs hot paths (detectors and
+   counters that run on every packet or pause transition) joined later. *)
+let dataplane_files =
+  [
+    "lib/bfc/dataplane.ml";
+    "lib/bfc/credit_dataplane.ml";
+    "lib/ir/compile.ml";
+    "lib/stress/detect.ml";
+    "lib/obs/registry.ml";
+    "lib/obs/trace.ml";
+  ]
 
 let normalize path =
   let path = String.map (fun c -> if c = '\\' then '/' else c) path in

@@ -43,6 +43,7 @@ let enabled t = t.enabled
 (* Registration-time linear lookup: registries hold tens of probes and
    registration happens once per run, so no hash table is needed (and
    enumeration order stays the registration order for free). *)
+(* bfc-lint: control-plane *)
 let find names n name =
   let rec scan i = if i >= n then -1 else if names.(i) = name then i else scan (i + 1) in
   scan 0
@@ -68,6 +69,7 @@ let add t c d = if t.enabled then t.c_cells.(c) <- t.c_cells.(c) + d
 
 let value t c = t.c_cells.(c)
 
+(* enumeration for export, not per packet; bfc-lint: control-plane *)
 let counters t = List.init t.c_n (fun i -> (t.c_names.(i), t.c_cells.(i)))
 
 let gauge t name fn =
@@ -82,8 +84,10 @@ let gauge t name fn =
     t.g_fns.(i) <- fn;
     t.g_n <- i + 1
 
+(* bfc-lint: control-plane *)
 let gauges t = List.init t.g_n (fun i -> (t.g_names.(i), t.g_fns.(i)))
 
+(* bfc-lint: control-plane *)
 let sample_gauges t =
   if not t.enabled then []
   else List.init t.g_n (fun i -> (t.g_names.(i), t.g_fns.(i) ()))
@@ -96,6 +100,7 @@ let check_edges edges =
       invalid_arg "Registry.histogram: edges must be strictly ascending"
   done
 
+(* registration time; bfc-lint: control-plane *)
 let histogram t name ~edges =
   match find t.h_names t.h_n name with
   | i when i >= 0 ->
@@ -124,7 +129,8 @@ let bucket_of edges v =
   else if v >= edges.(n - 1) then n
   else begin
     let lo = ref 0 and hi = ref (n - 1) in
-    (* invariant: v >= edges.(!lo), v < edges.(!hi) *)
+    (* invariant: v >= edges.(!lo), v < edges.(!hi); the loop is a binary
+       search bounded by log2(buckets); bfc-lint: allow df-while *)
     while !hi - !lo > 1 do
       let mid = (!lo + !hi) / 2 in
       if v >= edges.(mid) then lo := mid else hi := mid
@@ -143,6 +149,7 @@ let histogram_counts t h = Array.copy t.h_counts.(h)
 
 let histogram_edges t h = Array.copy t.h_edges.(h)
 
+(* bfc-lint: control-plane *)
 let histograms t =
   List.init t.h_n (fun i -> (t.h_names.(i), Array.copy t.h_edges.(i), Array.copy t.h_counts.(i)))
 
@@ -150,6 +157,7 @@ let histograms t =
 (* JSON export. Probe names are plain identifiers ("engine.heap_hwm"), but
    escape defensively anyway. *)
 
+(* bfc-lint: control-plane *)
 let json_escape s =
   let buf = Buffer.create (String.length s + 2) in
   String.iter
@@ -163,11 +171,13 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* bfc-lint: control-plane *)
 let json_float f =
   if Float.is_nan f then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%g" f
 
+(* bfc-lint: control-plane *)
 let to_json t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"counters\": {";

@@ -45,6 +45,7 @@ let create ?(capacity = 0) () =
     n_names = 0;
   }
 
+(* probe registration; bfc-lint: control-plane *)
 let intern t ?(akey = "a") ?(bkey = "b") nm =
   let rec scan i = if i >= t.n_names then -1 else if t.names.(i) = nm then i else scan (i + 1) in
   match scan 0 with
@@ -120,8 +121,10 @@ let iter t f =
 (* ------------------------------------------------------------------ *)
 (* Exporters *)
 
+(* bfc-lint: control-plane *)
 let us_of_ns ns = Printf.sprintf "%.3f" (float_of_int ns /. 1000.0)
 
+(* bfc-lint: control-plane *)
 let args_json t ~name ~a ~b =
   match (a, b) with
   | None, None -> ""
@@ -131,6 +134,7 @@ let args_json t ~name ~a ~b =
     Printf.sprintf ",\"args\":{\"%s\":%d,\"%s\":%d}" t.akeys.(name) a t.bkeys.(name) b
 
 (* Distinct (pid, tid) tracks of the buffered records, sorted. *)
+(* bfc-lint: control-plane *)
 let tracks t =
   let seen = Hashtbl.create 64 in
   iter t (fun ~ts:_ ~dur:_ ~name:_ ~pid ~tid ~a:_ ~b:_ ->
@@ -149,6 +153,7 @@ let sorted_indices t =
   Array.stable_sort (fun i j -> compare t.ts.(i) t.ts.(j)) idx;
   idx
 
+(* bfc-lint: control-plane *)
 let to_chrome ?process_name ?track_name t oc =
   output_string oc "{\"traceEvents\":[";
   let first = ref true in
@@ -207,6 +212,7 @@ let to_chrome ?process_name ?track_name t oc =
     (sorted_indices t);
   output_string oc "\n]}\n"
 
+(* bfc-lint: control-plane *)
 let to_jsonl t oc =
   iter t (fun ~ts ~dur ~name ~pid ~tid ~a ~b ->
       let args = args_json t ~name ~a ~b in

@@ -23,6 +23,7 @@ type params = {
   pause_watchdog : Time.t option;
   seed : int;
   homa_dist : Bfc_workload.Dist.t;
+  use_ir : bool;
 }
 
 let default_params =
@@ -39,6 +40,7 @@ let default_params =
     pause_watchdog = None;
     seed = 42;
     homa_dist = Bfc_workload.Dist.google;
+    use_ir = false;
   }
 
 type env = {
@@ -50,6 +52,7 @@ type env = {
   hosts : Host.t option array;
   switches : Switch.t array;
   dataplanes : Dataplane.t array;
+  ir_programs : Bfc_ir.Compile.t array;
   base_rtt : Time.t;
   bdp : int;
   extra_header : int;
@@ -72,6 +75,8 @@ let bdp env = env.bdp
 let switches env = env.switches
 
 let dataplanes env = env.dataplanes
+
+let ir_programs env = env.ir_programs
 
 let host env i =
   match env.hosts.(i) with
@@ -330,6 +335,7 @@ let setup ~topo ~scheme ~params:p =
   let hosts = Array.make (Array.length nodes) None in
   let switches = ref [] in
   let dataplanes = ref [] in
+  let ir_programs = ref [] in
   let nic_queues = nic_queues_of scheme in
   let dpcfg = dataplane_config scheme p ~nic_queues in
   (* Homa parameters depend on the workload distribution *)
@@ -367,18 +373,27 @@ let setup ~topo ~scheme ~params:p =
         in
         (match dpcfg with
         | Some c ->
-          let dp = Dataplane.attach sw c in
-          dataplanes := dp :: !dataplanes
+          if p.use_ir then
+            (* same config, but routed through the IR: build the pipeline
+               for this switch's dimensions, validate, compile *)
+            ir_programs := Bfc_ir.Compile.attach_bfc sw c :: !ir_programs
+          else begin
+            let dp = Dataplane.attach sw c in
+            dataplanes := dp :: !dataplanes
+          end
         | None -> ());
         (match scheme with
         | Scheme.Bfc_credit { credit_bytes; _ } ->
-          ignore
-            (Bfc_core.Credit_dataplane.attach sw
-               {
-                 Bfc_core.Credit_dataplane.default_config with
-                 Bfc_core.Credit_dataplane.credit_bytes;
-                 max_upstream_q = max (nic_queues + 1) 130;
-               })
+          let ccfg =
+            {
+              Bfc_core.Credit_dataplane.default_config with
+              Bfc_core.Credit_dataplane.credit_bytes;
+              max_upstream_q = max (nic_queues + 1) 130;
+            }
+          in
+          if p.use_ir then
+            ir_programs := Bfc_ir.Compile.attach_credit sw ccfg :: !ir_programs
+          else ignore (Bfc_core.Credit_dataplane.attach sw ccfg)
         | _ -> ());
         (match scheme with
         | Scheme.Expresspass _ ->
@@ -421,6 +436,7 @@ let setup ~topo ~scheme ~params:p =
       hosts;
       switches = Array.of_list (List.rev !switches);
       dataplanes = Array.of_list (List.rev !dataplanes);
+      ir_programs = Array.of_list (List.rev !ir_programs);
       base_rtt;
       bdp;
       extra_header = extra_header_of scheme;
@@ -437,7 +453,13 @@ let setup ~topo ~scheme ~params:p =
         let sw = Dataplane.switch dp in
         let f = Bfc_core.Deadlock.make_filter topo g ~sw:(Switch.node_id sw) in
         Dataplane.allow_backpressure dp f)
-      env.dataplanes
+      env.dataplanes;
+    Array.iter
+      (fun prog ->
+        let sw = Bfc_ir.Compile.switch prog in
+        let f = Bfc_core.Deadlock.make_filter topo g ~sw:(Switch.node_id sw) in
+        Bfc_ir.Compile.allow_backpressure prog f)
+      env.ir_programs
   end;
   (* completion counting *)
   Array.iter

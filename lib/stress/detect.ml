@@ -148,6 +148,7 @@ let footprint t fid gid queue ~now =
       Hashtbl.add t.frecs fid r;
       r
   in
+  (* a flow touches at most hop-count (port, queue) cells; bfc-lint: allow df-list *)
   match List.find_opt (fun f -> f.fq_gid = gid && f.fq_queue = queue) !r with
   | Some f -> f
   | None ->
@@ -171,6 +172,7 @@ let on_deq t gid ~queue pkt =
     match Hashtbl.find_opt t.frecs fid with
     | None -> ()
     | Some r -> (
+      (* bounded by hop count, as in [footprint]; bfc-lint: allow df-list *)
       match List.find_opt (fun f -> f.fq_gid = gid && f.fq_queue = queue) !r with
       | None -> ()
       | Some f ->
@@ -181,6 +183,7 @@ let on_deq t gid ~queue pkt =
 (* ------------------------------------------------------------------ *)
 (* Periodic tick: storm window + runtime deadlock scan *)
 
+(* runs per detector period, not per packet; bfc-lint: control-plane *)
 let storm_tick t ~now =
   let w = t.cfg.d_window in
   let horizon = w * t.cfg.d_period in
@@ -216,6 +219,7 @@ let storm_tick t ~now =
   if !blast > t.max_blast then t.max_blast <- !blast;
   t.win_pos <- (t.win_pos + 1) mod w
 
+(* deadlock-scan helper, per tick; bfc-lint: control-plane *)
 let cycle_edges cyc =
   match cyc with
   | [] -> []
@@ -227,6 +231,7 @@ let cycle_edges cyc =
     in
     pairs cyc
 
+(* runs per detector period, not per packet; bfc-lint: control-plane *)
 let deadlock_tick t ~now =
   let topo = Runner.topo t.env in
   let paused = ref [] in
@@ -286,6 +291,7 @@ let deadlock_tick t ~now =
     end);
   List.iter (fun gid -> t.dl_mem.(gid) <- false) !paused
 
+(* bfc-lint: control-plane *)
 let tick t () =
   let now = Sim.now (Runner.sim t.env) in
   storm_tick t ~now;
@@ -294,6 +300,7 @@ let tick t () =
 
 (* ------------------------------------------------------------------ *)
 
+(* one-time hook installation; bfc-lint: control-plane *)
 let attach ?(config = default_config) env =
   let topo = Runner.topo env in
   let n = Topology.total_ports topo in
@@ -396,6 +403,7 @@ let attach ?(config = default_config) env =
 
 (* ------------------------------------------------------------------ *)
 
+(* end-of-run aggregation; bfc-lint: control-plane *)
 let report t ~flows =
   let now = Sim.now (Runner.sim t.env) in
   let closed = List.rev t.storms in
@@ -470,6 +478,7 @@ let report t ~flows =
     r_ticks = t.ticks;
   }
 
+(* bfc-lint: control-plane *)
 let summary r =
   Printf.sprintf "storms=%d storm_ports=%d max_blast=%d deadlocks=%d dangerous=%d victims=%d"
     (List.length r.r_storms) r.r_storm_ports r.r_max_blast
@@ -477,6 +486,7 @@ let summary r =
     (List.length (List.filter (fun d -> d.dl_static_dangerous) r.r_deadlocks))
     (List.length r.r_victims)
 
+(* bfc-lint: control-plane *)
 let victim_p99 r =
   match r.r_victims with
   | [] -> 0.0
