@@ -32,12 +32,20 @@
                                                  ratio recorded (adds an "ir"
                                                  block; combines with the
                                                  flags above)
+     dune exec bench/main.exe -- --pdes       -- sequential vs 2-shard PDES
+                                                 on the same workload: output
+                                                 equality asserted, wall-clock
+                                                 ratio recorded with detected
+                                                 core count (adds a "pdes"
+                                                 block; combines with the
+                                                 flags above)
      dune exec bench/main.exe -- --engine-profile
                                               -- one quick run, engine
                                                  self-profile JSON on stdout *)
 
 module Experiments = Bfc_sim.Experiments
 module Exp_common = Bfc_sim.Exp_common
+module Pdes = Bfc_sim.Pdes
 module Pool = Bfc_sim.Pool
 module Runner = Bfc_sim.Runner
 module Scheme = Bfc_sim.Scheme
@@ -245,13 +253,66 @@ let run_macro ~jobs () =
   "sweep": {
     "tasks": %d,
     "jobs": %d,
+    "cores": %d,
+    "shards": %d,
     "seq_seconds": %.3f,
     "par_seconds": %.3f,
     %s
   },
   "profile": %s%s|}
-    heap_json wheel_json wheel_speedup_pct allocated recycled recycle_ratio tasks jobs seq_secs
-    par_secs speedup_json profile_json comparison
+    heap_json wheel_json wheel_speedup_pct allocated recycled recycle_ratio tasks jobs cores
+    (Pdes.default_shards ()) seq_secs par_secs speedup_json profile_json comparison
+
+(* ------------------------------------------------------------------ *)
+(* PDES benchmark: the same quick reference workload, sequential vs the
+   2-shard conservative-window run. The sharded leg must produce the
+   identical output (the tentpole's byte-identity property — asserted
+   here on counters and FCT rows), so the only question is wall clock.
+   Events/sec for both legs use the sequential event count: same
+   delivered workload, throughput on a wall-clock basis. On a
+   single-core container the ratio measures synchronization overhead,
+   not parallelism, and is recorded as null with the raw ratio noted —
+   same convention as the sweep block. *)
+
+let run_pdes () =
+  Printf.printf "\n################ pdes benchmark: sequential vs 2-shard\n%!";
+  let cores = Pool.recommended_jobs () in
+  let shards = 2 in
+  let setup = quick_setup 1 in
+  let rseq, seq_secs = time_run (fun () -> Exp_common.run_std_seq setup) in
+  let events = Runner.events_executed rseq.Exp_common.env in
+  let seq_eps = float_of_int events /. seq_secs in
+  Printf.printf "  [seq  ] events %d, wall %.2f s, %.0f events/sec\n%!" events seq_secs seq_eps;
+  let rsh, sh_secs = time_run (fun () -> Exp_common.run_std_sharded setup ~shards) in
+  if
+    Runner.injected rseq.Exp_common.env <> Runner.injected rsh.Exp_common.env
+    || Runner.completed rseq.Exp_common.env <> Runner.completed rsh.Exp_common.env
+    || Exp_common.fct_rows rseq <> Exp_common.fct_rows rsh
+  then failwith "pdes bench diverged: sharded output differs from sequential";
+  let sh_eps = float_of_int events /. sh_secs in
+  let ratio = seq_secs /. sh_secs in
+  Printf.printf "  [shard] shards=%d, wall %.2f s, %.0f events/sec\n%!" shards sh_secs sh_eps;
+  Printf.printf "  sharded vs sequential %.2fx%s\n%!" ratio
+    (if cores = 1 then " (single-core container: synchronization overhead only)" else "");
+  let speedup_json =
+    if cores = 1 then
+      Printf.sprintf
+        {|"speedup": null,
+    "note": "not a parallelism measurement: single-core container (raw ratio %.2f)"|}
+        ratio
+    else Printf.sprintf {|"speedup": %.2f|} ratio
+  in
+  Printf.sprintf
+    {|"pdes": {
+    "workload": "run_std quick bfc seed=1, sequential vs %d-shard PDES",
+    "cores": %d,
+    "shards": %d,
+    "identical_output": true,
+    "seq": { "events": %d, "seconds": %.3f, "events_per_sec": %.0f },
+    "sharded": { "seconds": %.3f, "events_per_sec": %.0f },
+    %s
+  }|}
+    shards cores shards events seq_secs seq_eps sh_secs sh_eps speedup_json
 
 (* ------------------------------------------------------------------ *)
 (* IR benchmark: the same quick reference workload through the hand-written
@@ -469,6 +530,7 @@ let () =
   let sched = ref false in
   let stress = ref false in
   let ir = ref false in
+  let pdes = ref false in
   let csv_dir = ref None in
   let jobs = ref (Pool.recommended_jobs ()) in
   let bench_out = ref "BENCH_engine.json" in
@@ -498,6 +560,9 @@ let () =
     | "--ir" :: rest ->
       ir := true;
       parse rest
+    | "--pdes" :: rest ->
+      pdes := true;
+      parse rest
     | "--engine-profile" :: _ ->
       (* one quick run, engine self-profile JSON on stdout (--profile is
          taken by the scale selector, hence the distinct flag name) *)
@@ -515,12 +580,13 @@ let () =
       parse rest
   in
   parse args;
-  if !macro || !sched || !stress || !ir then begin
+  if !macro || !sched || !stress || !ir || !pdes then begin
     let blocks =
       (if !macro then [ run_macro ~jobs:!jobs () ] else [])
       @ (if !sched then [ run_sched () ] else [])
       @ (if !stress then [ run_stress () ] else [])
-      @ if !ir then [ run_ir () ] else []
+      @ (if !ir then [ run_ir () ] else [])
+      @ if !pdes then [ run_pdes () ] else []
     in
     write_bench ~out:!bench_out blocks
   end

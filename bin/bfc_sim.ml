@@ -25,6 +25,21 @@ let profile_arg =
       & opt profile_conv Exp_common.Quick
       & info [ "profile" ] ~docv:"PROFILE" ~doc:"Scale: smoke, quick or paper.")
 
+let shards_arg =
+  Arg.(value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition each simulation across $(docv) domains (conservative PDES, pod-wise \
+             Clos partition). Results are byte-identical to $(docv)=1; composes with --jobs \
+             (each sweep point gets its own shard set).")
+
+let set_shards n =
+  if n < 1 then begin
+    Printf.eprintf "bfc_sim: --shards must be >= 1 (got %d)\n" n;
+    exit 2
+  end;
+  Bfc_sim.Pdes.set_default_shards n
+
 let list_cmd =
   let run () =
     List.iter
@@ -35,7 +50,8 @@ let list_cmd =
 
 let run_cmd =
   let targets = Arg.(value & pos_all string [] & info [] ~docv:"TARGET") in
-  let run profile targets =
+  let run profile shards targets =
+    set_shards shards;
     let chosen =
       match targets with
       | [] -> Experiments.all
@@ -51,7 +67,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run experiment targets (all if none given)")
-    Term.(const run $ profile_arg $ targets)
+    Term.(const run $ profile_arg $ shards_arg $ targets)
 
 let scheme_conv =
   let parse = function
@@ -94,7 +110,8 @@ let sweep_cmd =
             ~doc:"Pause-watchdog timeout in microseconds on every device; 0 disables it.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
-  let run profile scheme dist load incast watchdog seed =
+  let run profile scheme dist load incast watchdog seed shards =
+    set_shards shards;
     let s =
       {
         (Exp_common.std profile scheme) with
@@ -127,7 +144,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"One ad-hoc Clos run with chosen scheme/workload/load")
-    Term.(const run $ profile_arg $ scheme $ dist $ load $ incast $ watchdog $ seed)
+    Term.(const run $ profile_arg $ scheme $ dist $ load $ incast $ watchdog $ seed $ shards_arg)
 
 let trace_cmd =
   let module Time = Bfc_engine.Time in

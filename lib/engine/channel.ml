@@ -1,0 +1,77 @@
+(* Bounded single-producer/single-consumer ring for inter-shard traffic.
+
+   The PDES coordinator (lib/sim) gives each shard one outbound channel;
+   the shard's domain is the only producer and the coordinator thread the
+   only consumer, so a slot needs no lock: the producer publishes a slot
+   by the release [Atomic.set] on [tail], and the consumer's acquire
+   [Atomic.get] on [tail] orders the slot read after the write (the
+   standard SPSC ring under the OCaml 5 memory model — every slot access
+   is separated from the cursor bump that hands the slot over, so there
+   are no data races on the buffer).
+
+   The ring is deliberately bounded: a shard that outruns its consumer
+   finds [try_push] returning [false] and stalls — the simulator itself
+   is a backpressured pipeline, mirroring the paper's hop-by-hop story.
+   Nothing is ever dropped. Blocking lives in the caller (Pdes), not
+   here, so the per-message operations stay straight-line code. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* consumer cursor: next slot to pop *)
+  tail : int Atomic.t; (* producer cursor: next slot to fill *)
+  mutable pushed : int; (* producer-side total, read at barriers *)
+  mutable popped : int; (* consumer-side total *)
+}
+
+(* sizing at wiring time, not per-message; bfc-lint: control-plane *)
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Channel.create: capacity must be positive";
+  let cap = next_pow2 capacity 1 in
+  {
+    buf = Array.make cap None;
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    pushed = 0;
+    popped = 0;
+  }
+
+let capacity t = t.mask + 1
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let is_empty t = length t = 0
+
+(* Producer side. Returns [false] when the ring is full — the caller
+   decides how to stall (the PDES shard spins with [Domain.cpu_relax]
+   while the coordinator drains). *)
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head > t.mask then false
+  else begin
+    Array.unsafe_set t.buf (tail land t.mask) (Some x);
+    Atomic.set t.tail (tail + 1);
+    t.pushed <- t.pushed + 1;
+    true
+  end
+
+(* Consumer side. The popped slot is cleared so the ring never pins a
+   message for a full lap. *)
+let pop t =
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail = head then None
+  else begin
+    let i = head land t.mask in
+    let x = Array.unsafe_get t.buf i in
+    Array.unsafe_set t.buf i None;
+    Atomic.set t.head (head + 1);
+    t.popped <- t.popped + 1;
+    x
+  end
+
+let pushed t = t.pushed
+
+let popped t = t.popped

@@ -1,0 +1,37 @@
+(** Bounded single-producer/single-consumer channel.
+
+    The inter-shard packet conduit of the PDES runtime: each shard owns
+    the producer end, the window coordinator the consumer end. The ring
+    is bounded and lossless — when it fills, {!try_push} reports [false]
+    and the producing shard stalls until the consumer drains, so the
+    simulator behaves like the backpressured pipeline it models; nothing
+    is ever dropped.
+
+    Safe for exactly one producer domain and one consumer domain at a
+    time (cursor publication uses [Atomic]); the non-atomic statistics
+    ({!pushed}/{!popped}) are each owned by one side and must only be
+    read by the other across a synchronisation point (a PDES barrier). *)
+
+type 'a t
+
+(** [create ~capacity] — capacity is rounded up to a power of two. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Producer only. [false] means the ring is full: retry after the
+    consumer drains (the caller owns the stall loop). *)
+val try_push : 'a t -> 'a -> bool
+
+(** Consumer only. *)
+val pop : 'a t -> 'a option
+
+(** Total successful pushes (producer-owned counter). *)
+val pushed : 'a t -> int
+
+(** Total pops (consumer-owned counter). *)
+val popped : 'a t -> int

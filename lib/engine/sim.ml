@@ -1,10 +1,33 @@
 (* The pending-event queue is backend-selectable: the 4-ary heap
    ([Bfc_util.Heap], O(log n)) or the hierarchical timing wheel
    ([Bfc_util.Wheel], amortized O(1)). Both order entries by strict
-   (time, insertion-seq), so the two backends replay byte-identical
-   schedules; the wheel is the default because the engine's event mix is
+   (time, rank, insertion-seq) — so the two backends replay
+   byte-identical schedules; the wheel is the default because the
+   engine's event mix is
    dominated by short-horizon reusable rearms (see bench --macro /
    --sched A/B in BENCH_engine.json).
+
+   The rank packs two components: the clock at the moment of insertion
+   (high bits) and a caller-supplied canonical key (low [key_bits] bits,
+   default [key_mask]). Within one simulation the clock is monotone, so
+   for events inserted at different instants the order is exactly the
+   classic (time, insertion order). The two refinements exist for the
+   PDES barrier ([Bfc_sim.Pdes]), which must insert a cross-shard
+   delivery at the end of the window that produced it — later than the
+   sequential run would have inserted it — yet have it execute in
+   exactly the sequential position:
+
+   - [at ~sent] stamps the event with its virtual send time, so it
+     sorts among same-time events as if inserted back then;
+   - [~key] (ports pass their gid when scheduling deliveries) breaks
+     the remaining tie — several insertions at the same (time, clock)
+     on different shards — by a globally-known physical identity
+     instead of the insertion interleaving, which no shard can observe.
+     The cost is that same-(time, clock) ties in a sequential run are
+     canonicalized too (port deliveries sort by source gid, ahead of
+     same-instant non-port events): a reordering of simultaneous
+     events with no physical meaning, applied identically everywhere
+     so sharded and sequential schedules agree byte-for-byte.
 
    The only observable divergence is tombstone handling: the heap pops
    every cancelled entry (a no-op step that still advances the clock),
@@ -72,10 +95,17 @@ let default_sched () = !default_sched_ref
 
 (* --- the single dispatch point between the two backends --- *)
 
-let q_push q ~priority h =
+let q_push q ~priority ~rank h =
   match q with
-  | Q_heap hp -> Bfc_util.Heap.push hp ~priority h
-  | Q_wheel w -> Bfc_util.Wheel.push w ~priority h
+  | Q_heap hp -> Bfc_util.Heap.push hp ~rank ~priority h
+  | Q_wheel w -> Bfc_util.Wheel.push w ~rank ~priority h
+
+(* Insertion with a rank below the clock (the PDES barrier): the heap
+   compares ranks anyway; the wheel needs its scan-insert entry point. *)
+let q_push_late q ~priority ~rank h =
+  match q with
+  | Q_heap hp -> Bfc_util.Heap.push hp ~rank ~priority h
+  | Q_wheel w -> Bfc_util.Wheel.push_late w ~priority ~rank h
 
 (* Deadline of the head entry, or -1 when the queue is empty (event
    times are non-negative). *)
@@ -130,16 +160,30 @@ let note_depth t =
   let d = q_length t.q in
   if d > t.heap_hwm then t.heap_hwm <- d
 
-let at t time fn =
+(* Rank packing: (insertion clock | canonical key). 43 clock bits cover
+   ~2.4 hours of virtual nanoseconds before the shift overflows —
+   far beyond any experiment horizon. *)
+let key_bits = 20
+
+let key_mask = (1 lsl key_bits) - 1
+
+let rank_of ~clock ~key = (clock lsl key_bits) lor (key land key_mask)
+
+let at ?sent ?(key = key_mask) t time fn =
   if time < t.clock then
     invalid_arg (Printf.sprintf "Sim.at: scheduling in the past (%d < %d)" time t.clock);
   let h = { owner = t; cls = cls_one_shot; alive = true; fired = false; fn } in
-  q_push t.q ~priority:time h;
+  (match sent with
+  | None -> q_push t.q ~priority:time ~rank:(rank_of ~clock:t.clock ~key) h
+  | Some s ->
+    if s < 0 || s > t.clock then
+      invalid_arg (Printf.sprintf "Sim.at: ~sent out of range (%d, clock %d)" s t.clock);
+    q_push_late t.q ~priority:time ~rank:(rank_of ~clock:s ~key) h);
   note_depth t;
   t.live <- t.live + 1;
   h
 
-let after t delay fn = at t (t.clock + max 0 delay) fn
+let after ?key t delay fn = at ?key t (t.clock + max 0 delay) fn
 
 (* Reusable handles: [make_handle] builds an unarmed handle once; [rearm]
    puts it back in the queue. Steady-state periodic or chained events (port
@@ -149,14 +193,14 @@ let after t delay fn = at t (t.clock + max 0 delay) fn
    users (Port) never cancel reusable handles. *)
 let make_handle t fn = { owner = t; cls = cls_reusable; alive = false; fired = false; fn }
 
-let rearm h ~at:time =
+let rearm ?(key = key_mask) h ~at:time =
   let t = h.owner in
   if h.alive && not h.fired then invalid_arg "Sim.rearm: handle is already armed";
   if time < t.clock then
     invalid_arg (Printf.sprintf "Sim.rearm: scheduling in the past (%d < %d)" time t.clock);
   h.alive <- true;
   h.fired <- false;
-  q_push t.q ~priority:time h;
+  q_push t.q ~priority:time ~rank:(rank_of ~clock:t.clock ~key) h;
   note_depth t;
   t.live <- t.live + 1;
   t.rearms <- t.rearms + 1
@@ -189,14 +233,14 @@ let every t ~period fn =
             fn ();
             if tick.running then begin
               h.fired <- false;
-              q_push t.q ~priority:(t.clock + period) h;
+              q_push t.q ~priority:(t.clock + period) ~rank:(rank_of ~clock:t.clock ~key:key_mask) h;
               note_depth t;
               t.live <- t.live + 1
             end
           end);
     }
   in
-  q_push t.q ~priority:(t.clock + period) h;
+  q_push t.q ~priority:(t.clock + period) ~rank:(rank_of ~clock:t.clock ~key:key_mask) h;
   note_depth t;
   t.live <- t.live + 1;
   tick
@@ -256,6 +300,12 @@ let run_until_idle ?(cap = safety_cap) t =
     if !executed > cap then raise (Runaway { now = t.clock; pending_events = t.live })
   done;
   !executed
+
+(* Head-entry deadline, tombstones included: a cancelled head reports its
+   stale time, which is <= the first live deadline — callers using this as
+   a horizon bound (the PDES window coordinator) only get a conservative
+   (smaller) window out of that, never a wrong one. *)
+let next_time t = q_head_time t.q
 
 let pending_events t = t.live
 

@@ -44,11 +44,28 @@ val now : t -> Time.t
     independent sims run on separate domains. *)
 val fresh_uid : t -> int
 
-(** [at t time f] runs [f] at absolute [time] (>= now). *)
-val at : t -> Time.t -> (unit -> unit) -> handle
+(** [at t time f] runs [f] at absolute [time] (>= now). Among events at
+    the same [time], execution order is (insertion instant, key,
+    insertion order): the clock value at scheduling time first, then the
+    optional canonical [~key], then FIFO.
 
-(** [after t delay f] runs [f] at [now + delay]. *)
-val after : t -> Time.t -> (unit -> unit) -> handle
+    [~sent] (PDES barrier only) inserts the event as if it had been
+    scheduled when the clock read [sent] (which must be in
+    [0, now]): among same-[time] events it sorts before everything
+    inserted at a later clock — the position a sequential run gives a
+    cross-shard delivery scheduled at its send time.
+
+    [~key] is a canonical tie-break below the insertion instant — a
+    globally-known physical identity (ports pass their gid when
+    scheduling packet deliveries) that orders same-(time, instant)
+    insertions made on different shards without reference to the
+    insertion interleaving, which no shard can observe. Defaults to the
+    maximum key, so unkeyed events sort after keyed ones at the same
+    instant. Must be in [0, 2^20 - 1]. *)
+val at : ?sent:Time.t -> ?key:int -> t -> Time.t -> (unit -> unit) -> handle
+
+(** [after t delay f] runs [f] at [now + delay]. [~key] as in {!at}. *)
+val after : ?key:int -> t -> Time.t -> (unit -> unit) -> handle
 
 val cancel : handle -> unit
 
@@ -64,8 +81,9 @@ val make_handle : t -> (unit -> unit) -> handle
 (** [rearm h ~at] schedules an unarmed reusable handle at absolute time
     [at]. Raises [Invalid_argument] if [h] is still armed or [at] is in the
     past. A handle [cancel]led while armed leaves a stale queue entry behind
-    and must not be rearmed until that deadline has passed. *)
-val rearm : handle -> at:Time.t -> unit
+    and must not be rearmed until that deadline has passed. [~key] as in
+    {!at}. *)
+val rearm : ?key:int -> handle -> at:Time.t -> unit
 
 (** [every t ~period f] runs [f] every [period] starting at [now + period],
     until [stop_ticker] is called on the returned controller. The ticker
@@ -95,6 +113,13 @@ exception Runaway of { now : Time.t; pending_events : int }
     with a natural end. Returns events executed.
     Raises {!Runaway} after [cap] events (default 2^30). *)
 val run_until_idle : ?cap:int -> t -> int
+
+(** Deadline of the earliest queued entry, or [-1] when the queue is
+    empty. Cancelled tombstones are included, so the value is a lower
+    bound on the next event that will actually execute — exactly what a
+    conservative synchronization window needs (a too-early bound shrinks
+    the window; it can never overshoot). *)
+val next_time : t -> Time.t
 
 (** Number of live scheduled events (cancelled tombstones excluded). *)
 val pending_events : t -> int

@@ -2,8 +2,9 @@
 
 (* Per-packet / per-event hot-path modules that get the feasibility family.
    The two BFC dataplane programs are the original set (PR 2); the IR
-   compiler's execution engine and the stress/obs hot paths (detectors and
-   counters that run on every packet or pause transition) joined later. *)
+   compiler's execution engine, the stress/obs hot paths (detectors and
+   counters that run on every packet or pause transition) and the PDES
+   inter-shard ring (crossed by every cut packet) joined later. *)
 let dataplane_files =
   [
     "lib/bfc/dataplane.ml";
@@ -12,6 +13,7 @@ let dataplane_files =
     "lib/stress/detect.ml";
     "lib/obs/registry.ml";
     "lib/obs/trace.ml";
+    "lib/engine/channel.ml";
   ]
 
 let normalize path =

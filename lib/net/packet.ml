@@ -156,6 +156,35 @@ let copy_int_hops ~src ~dst =
   done;
   dst.int_cnt <- src.int_cnt
 
+(* Deep field copy for handing a packet to another shard: the original
+   stays behind (its sender may still read it, and it belongs to the
+   source pool's lifecycle), while the clone carries every behavioral
+   field across the channel. [flow] is deliberately dropped — flow
+   records are mutated by the receiving host, so a pointer must never
+   cross a domain; the PDES runtime re-binds the destination shard's
+   replica by flow id at delivery. The uid is fresh (uids are per-sim
+   diagnostics, not protocol state). *)
+let clone ?sim p =
+  let c = make ?sim p.kind ~src:p.src ~dst:p.dst ~size:p.size ~payload:p.payload ~seq:p.seq ~prio:p.prio () in
+  c.remaining <- p.remaining;
+  c.upstream_q <- p.upstream_q;
+  c.ecn <- p.ecn;
+  c.ecn_echo <- p.ecn_echo;
+  c.bp_in_port <- p.bp_in_port;
+  c.bp_upq <- p.bp_upq;
+  c.bp_counted <- p.bp_counted;
+  c.bp_sampled <- p.bp_sampled;
+  copy_int_hops ~src:p ~dst:c;
+  c.sent_at <- p.sent_at;
+  c.enq_at <- p.enq_at;
+  c.q_delay <- p.q_delay;
+  c.hop_cnt <- p.hop_cnt;
+  c.ctrl_a <- p.ctrl_a;
+  c.ctrl_b <- p.ctrl_b;
+  if Array.length p.ints > 0 then c.ints <- Array.copy p.ints;
+  c.path_hint <- p.path_hint;
+  c
+
 (* ------------------------------ Exceptions ----------------------------- *)
 
 exception Missing_flow of { uid : int; at : Bfc_engine.Time.t }

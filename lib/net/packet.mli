@@ -116,6 +116,14 @@ val clear_int_hops : t -> unit
     corrupt [dst]. *)
 val copy_int_hops : src:t -> dst:t -> unit
 
+(** [clone ?sim p] — a fresh packet carrying every behavioral field of
+    [p] (header, scratch, INT stack, bitmap payload), with [flow = None]
+    and a fresh uid. This is the cross-shard transfer copy: the clone is
+    safe to hand to another domain (no structure shared with [p] and no
+    flow pointer; the receiving shard re-binds its own flow replica by
+    id), while [p] remains the sender's to keep, drop or recycle. *)
+val clone : ?sim:Bfc_engine.Sim.t -> t -> t
+
 (** Raised by [flow_exn] when a packet that must belong to a flow (a
     data-path packet inside a dataplane hook or a host receive path) carries
     none — a malformed injection or a corrupted header. Carries the packet

@@ -1,0 +1,131 @@
+(* Topology partition map for the sharded (PDES) engine: every node is
+   owned by exactly one shard; links whose endpoints live in different
+   shards are the "cut" over which packets travel as inter-shard
+   messages. The conservative lookahead of the whole arrangement is the
+   minimum propagation delay across the cut — a message sent at t cannot
+   arrive before t + lookahead, which is what lets every shard run a
+   [lookahead]-wide window past the global minimum next-event time
+   without waiting for its neighbours. *)
+
+type t = { shards : int; owner : int array }
+
+let shards t = t.shards
+
+let owner t node = t.owner.(node)
+
+let owns t ~shard node = t.owner.(node) = shard
+
+let single topo = { shards = 1; owner = Array.make (Array.length (Topology.nodes topo)) 0 }
+
+let make ~shards ~owner =
+  if shards <= 0 then invalid_arg "Partition.make: shards must be positive";
+  Array.iter
+    (fun s -> if s < 0 || s >= shards then invalid_arg "Partition.make: owner out of range")
+    owner;
+  { shards; owner }
+
+(* Pod-aware Clos partition: contiguous blocks of ToRs (with their rack's
+   hosts) per shard, spines spread the same way. With [shards] dividing
+   both counts, every shard gets an equal slice of switches, hosts — and
+   therefore of the event load. *)
+let clos_pods (cl : Topology.clos) ~shards =
+  let topo = cl.Topology.t in
+  let ntors = Array.length cl.Topology.tors in
+  if shards <= 0 then invalid_arg "Partition.clos_pods: shards must be positive";
+  if shards > ntors then
+    invalid_arg
+      (Printf.sprintf "Partition.clos_pods: %d shards for %d ToRs (at most one shard per ToR)"
+         shards ntors);
+  let owner = Array.make (Array.length (Topology.nodes topo)) 0 in
+  Array.iteri (fun i tor -> owner.(tor) <- i * shards / ntors) cl.Topology.tors;
+  Array.iter
+    (fun h -> owner.(h) <- owner.(cl.Topology.tors.(cl.Topology.rack_of h)))
+    cl.Topology.cl_hosts;
+  let nspines = Array.length cl.Topology.spines in
+  Array.iteri (fun j sp -> owner.(sp) <- j * shards / nspines) cl.Topology.spines;
+  { shards; owner }
+
+(* Topology-agnostic fallback: switches round-robin in node-id order,
+   hosts co-located with the switch their uplink attaches to (a host-ToR
+   link has the same propagation as any other, but keeping racks whole
+   minimises cut traffic). *)
+let generic topo ~shards =
+  if shards <= 0 then invalid_arg "Partition.generic: shards must be positive";
+  let nodes = Topology.nodes topo in
+  let owner = Array.make (Array.length nodes) 0 in
+  let next = ref 0 in
+  Array.iter
+    (fun nd ->
+      if nd.Node.kind = Node.Switch then begin
+        owner.(nd.Node.id) <- !next mod shards;
+        incr next
+      end)
+    nodes;
+  Array.iter
+    (fun nd ->
+      if nd.Node.kind = Node.Host then begin
+        let ports = Topology.ports topo nd.Node.id in
+        if Array.length ports > 0 then
+          owner.(nd.Node.id) <- owner.((Port.peer ports.(0)).Node.id)
+      end)
+    nodes;
+  { shards; owner }
+
+(* Every directed port whose endpoints are owned by different shards. *)
+let iter_cut topo t f =
+  Array.iter
+    (fun nd ->
+      let u = nd.Node.id in
+      Array.iter
+        (fun p ->
+          let v = (Port.peer p).Node.id in
+          if t.owner.(u) <> t.owner.(v) then f ~src:u p)
+        (Topology.ports topo u))
+    (Topology.nodes topo)
+
+let cut_size topo t =
+  let n = ref 0 in
+  iter_cut topo t (fun ~src:_ _ -> incr n);
+  !n
+
+(* Minimum propagation delay across the cut; [None] when nothing crosses
+   (a single shard, or a partition that happens to cut no link). *)
+let lookahead topo t =
+  let best = ref max_int in
+  iter_cut topo t (fun ~src:_ p -> if Port.prop p < !best then best := Port.prop p);
+  if !best = max_int then None else Some !best
+
+(* Structural validation, the contract the qcheck property pins:
+   - the map covers every node exactly once (right length, owner in range);
+   - every cut port has its matching remote endpoint stub: the peer's
+     reverse port exists, points back, and crosses the same shard pair;
+   - every cut link has positive propagation (zero-lookahead links cannot
+     be cut: the window would be empty and shards could never advance). *)
+let check topo t =
+  let nodes = Topology.nodes topo in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  if Array.length t.owner <> Array.length nodes then
+    err "owner map covers %d nodes, topology has %d" (Array.length t.owner) (Array.length nodes);
+  Array.iteri
+    (fun i s -> if s < 0 || s >= t.shards then err "node %d owned by out-of-range shard %d" i s)
+    t.owner;
+  if !errors = [] then
+    iter_cut topo t (fun ~src:u p ->
+        let v = (Port.peer p).Node.id in
+        let back = Topology.ports topo v in
+        if Port.peer_port p < 0 || Port.peer_port p >= Array.length back then
+          err "cut port gid=%d at node %d: peer_port %d out of range at node %d" (Port.gid p) u
+            (Port.peer_port p) v
+        else begin
+          let q = back.(Port.peer_port p) in
+          if (Port.peer q).Node.id <> u then
+            err "cut port gid=%d at node %d: reverse port at node %d points to node %d" (Port.gid p)
+              u v (Port.peer q).Node.id
+          else if Port.peer_port q >= Array.length (Topology.ports topo u)
+                  || (Topology.ports topo u).(Port.peer_port q) != p then
+            err "cut port gid=%d: endpoint stubs do not pair up (node %d <-> %d)" (Port.gid p) u v
+        end;
+        if Port.prop p <= 0 then
+          err "cut port gid=%d (node %d -> %d) has zero propagation: no lookahead" (Port.gid p) u v);
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))

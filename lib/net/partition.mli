@@ -1,0 +1,60 @@
+(** Topology partition map for sharded (conservative PDES) runs.
+
+    A partition assigns every node to exactly one shard. Links whose
+    endpoints land in different shards form the {e cut}: packets crossing
+    them become inter-shard messages, and the minimum propagation delay
+    across the cut is the {e lookahead} — the guarantee that a message
+    sent at virtual time [t] cannot arrive before [t + lookahead], which
+    is what lets shards run a lookahead-wide window in parallel without
+    waiting on each other.
+
+    Maps are plain data (no simulation state); they are built once before
+    setup and read by every shard. *)
+
+type t
+
+(** Number of shards (>= 1). *)
+val shards : t -> int
+
+(** Owning shard of a node id. *)
+val owner : t -> int -> int
+
+val owns : t -> shard:int -> int -> bool
+
+(** The trivial one-shard map (everything in shard 0). *)
+val single : Topology.t -> t
+
+(** [make ~shards ~owner] wraps an explicit owner map (index = node id).
+    Raises [Invalid_argument] if [shards <= 0] or an entry is out of
+    range. Structural soundness against a topology is checked separately
+    by {!check}. *)
+val make : shards:int -> owner:int array -> t
+
+(** Pod-aware Clos partition: contiguous blocks of ToRs — each with its
+    rack's hosts — per shard; spines spread across shards the same way.
+    Cut links are ToR-spine (and host-ToR only if a rack ever straddled,
+    which this builder never produces). Raises [Invalid_argument] when
+    [shards] exceeds the ToR count. *)
+val clos_pods : Topology.clos -> shards:int -> t
+
+(** Topology-agnostic fallback: switches round-robin in node-id order,
+    hosts co-located with the switch their first port attaches to. *)
+val generic : Topology.t -> shards:int -> t
+
+(** Directed ports crossing the cut. *)
+val iter_cut : Topology.t -> t -> (src:int -> Port.t -> unit) -> unit
+
+(** Number of directed cut ports. *)
+val cut_size : Topology.t -> t -> int
+
+(** Minimum propagation delay over the cut, or [None] when no link
+    crosses (single shard). This is the conservative lookahead used to
+    size the synchronization window. *)
+val lookahead : Topology.t -> t -> Bfc_engine.Time.t option
+
+(** Structural validation: the map covers every node exactly once, every
+    cut port's reverse endpoint exists / points back / pairs up, and
+    every cut link has positive propagation (a zero-lookahead cut would
+    stall the window protocol). Returns all violations joined in the
+    error string. *)
+val check : Topology.t -> t -> (unit, string) result

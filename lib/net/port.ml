@@ -31,6 +31,9 @@ type t = {
   mutable count : int;
   mutable hpool : Bfc_engine.Sim.handle array; (* free delivery handles *)
   mutable hpool_n : int;
+  mutable remote : (Packet.t -> at:Bfc_engine.Time.t -> unit) option;
+      (* cross-shard egress (PDES): when set, deliveries are handed to this
+         capture hook instead of being scheduled on the local sim *)
 }
 
 let create ~sim ~gid ~gbps ~prop ~peer ~peer_port =
@@ -54,6 +57,7 @@ let create ~sim ~gid ~gbps ~prop ~peer ~peer_port =
     count = 0;
     hpool = [||];
     hpool_n = 0;
+    remote = None;
   }
 
 let gid t = t.gid
@@ -135,7 +139,7 @@ let schedule_delivery t pkt ~at =
     end
     else new_delivery_handle t
   in
-  Bfc_engine.Sim.rearm h ~at
+  Bfc_engine.Sim.rearm ~key:t.gid h ~at
 
 let send t pkt =
   let now = Bfc_engine.Sim.now t.sim in
@@ -146,7 +150,11 @@ let send t pkt =
   t.tx_packets <- t.tx_packets + 1;
   (match t.on_tx with None -> () | Some f -> f pkt);
   if t.fault pkt then t.dropped <- t.dropped + 1
-  else schedule_delivery t pkt ~at:(now + ser + t.prop)
+  else begin
+    match t.remote with
+    | None -> schedule_delivery t pkt ~at:(now + ser + t.prop)
+    | Some f -> f pkt ~at:(now + ser + t.prop)
+  end
 
 let ensure_wakeup t =
   if Bfc_engine.Sim.now t.sim < t.busy_until then begin
@@ -160,9 +168,18 @@ let ensure_wakeup t =
 
 let send_ctrl t pkt =
   if t.fault pkt then t.dropped <- t.dropped + 1
-  else
-    ignore
-      (Bfc_engine.Sim.after t.sim t.prop (fun () -> Node.deliver t.peer ~in_port:t.peer_port pkt))
+  else begin
+    match t.remote with
+    | None ->
+      ignore
+        (Bfc_engine.Sim.after ~key:t.gid t.sim t.prop (fun () ->
+             Node.deliver t.peer ~in_port:t.peer_port pkt))
+    | Some f -> f pkt ~at:(Bfc_engine.Sim.now t.sim + t.prop)
+  end
+
+let set_remote t f = t.remote <- Some f
+
+let is_remote t = t.remote <> None
 
 let set_fault t f = t.fault <- f
 

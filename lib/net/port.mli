@@ -72,6 +72,19 @@ val set_on_idle : t -> (unit -> unit) -> unit
     not once per packet. *)
 val ensure_wakeup : t -> unit
 
+(** Cross-shard egress (PDES): [set_remote t f] makes the port hand every
+    delivery to [f pkt ~at] — [at] the absolute arrival time at the peer —
+    instead of scheduling it on the local simulator. Serialization timing,
+    the busy check, the telemetry tap and fault injection are unchanged;
+    only the last step (the delivery event) is redirected, so a port with
+    no remote hook behaves byte-identically to before the hook existed.
+    The PDES runtime installs this on ports whose peer lives in another
+    shard and forwards the capture over a bounded {!Bfc_engine.Channel}. *)
+val set_remote : t -> (Packet.t -> at:Bfc_engine.Time.t -> unit) -> unit
+
+(** Does this port deliver to another shard? *)
+val is_remote : t -> bool
+
 (** Fault injection: packets for which the predicate returns true are
     silently lost on the wire (fiber corruption, §3.3 "Idempotent state";
     the periodic pause bitmap exists to survive exactly this). *)

@@ -61,7 +61,20 @@ type std_result = {
   measure_from : Bfc_engine.Time.t; (** warmup cutoff for FCT stats *)
 }
 
+(** Execute the standard run. With {!Pdes.default_shards}[ () > 1] the
+    simulation is partitioned pod-wise across that many domains
+    ({!Bfc_net.Partition.clos_pods} + {!Pdes}); results — FCT rows,
+    injected/completed counters, buffer samples — are byte-identical to
+    the sequential path on the same setup (held by the differential
+    test). [sp_obs] is then invoked once per shard environment, so
+    observers must only touch the environment they are handed. *)
 val run_std : std_setup -> std_result
+
+(** The always-sequential path (what [run_std] does at one shard). *)
+val run_std_seq : std_setup -> std_result
+
+(** The sharded path, explicit shard count ([shards >= 2]). *)
+val run_std_sharded : std_setup -> shards:int -> std_result
 
 (** One independent unit of an experiment sweep: a label and a thunk that
     builds its own [Sim.t]/[Runner.env] from scratch (no state shared with

@@ -1,9 +1,14 @@
 (** Binary min-heap with integer priorities and stable ordering.
 
-    The event queue of the simulator sits on top of this heap; ties on the
-    priority are broken by insertion order so that simulations are
-    deterministic. Storage is three parallel arrays (priority, sequence,
-    value), so the non-option accessors below allocate nothing. *)
+    The event queue of the simulator sits on top of this heap; entries
+    pop in (priority, rank, insertion order), where the rank is an
+    optional caller-supplied secondary key (default 0) — the simulator
+    passes its clock at insertion so a PDES barrier can place a
+    cross-shard delivery at the position a sequential run would have
+    given it. With equal or monotone ranks the order reduces to
+    (priority, insertion order), so simulations stay deterministic.
+    Storage is four parallel arrays (priority, rank, sequence, value),
+    so the non-option accessors below allocate nothing. *)
 
 type 'a t
 
@@ -19,8 +24,9 @@ val is_empty : 'a t -> bool
 (** Current backing-array capacity (grows geometrically, kept by {!clear}). *)
 val capacity : 'a t -> int
 
-(** [push t ~priority v] inserts [v]. Amortized O(log n). *)
-val push : 'a t -> priority:int -> 'a -> unit
+(** [push t ?rank ~priority v] inserts [v]; [rank] (default 0) breaks
+    priority ties ahead of insertion order. Amortized O(log n). *)
+val push : 'a t -> ?rank:int -> priority:int -> 'a -> unit
 
 (** [pop t] removes and returns the minimum-priority element (FIFO among
     equal priorities). Allocates the result tuple; the hot path should use

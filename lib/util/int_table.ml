@@ -76,6 +76,36 @@ let grow t v =
     end
   done
 
+(* Pre-size for [n] entries: one allocation (and at most one rehash of
+   whatever is already stored) instead of log(n) doubling rehashes while
+   filling. Capacity lands at the next power of two >= 2n, honouring the
+   1/2 load-factor bound, so [n] subsequent [set]s trigger no [grow].
+   Used when the final population is known up front, e.g. the per-shard
+   flow-replica tables built at PDES setup. *)
+let reserve t n =
+  let need = next_pow2 (max 8 (2 * n)) 8 in
+  if need > t.mask + 1 then begin
+    let okeys = t.keys and ovals = t.vals in
+    let ocap = t.mask + 1 in
+    t.keys <- Array.make need empty_key;
+    t.mask <- need - 1;
+    if Array.length ovals > 0 then begin
+      (* any existing value works as the array seed *)
+      t.vals <- Array.make need ovals.(0);
+      for j = 0 to ocap - 1 do
+        let k = Array.unsafe_get okeys j in
+        if k <> empty_key then begin
+          let i = ref (slot t k) in
+          while Array.unsafe_get t.keys !i <> empty_key do
+            i := (!i + 1) land t.mask
+          done;
+          Array.unsafe_set t.keys !i k;
+          Array.unsafe_set t.vals !i (Array.unsafe_get ovals j)
+        end
+      done
+    end
+  end
+
 let set t k v =
   if Array.length t.vals = 0 then t.vals <- Array.make (t.mask + 1) v;
   if 2 * (t.count + 1) > t.mask + 1 then grow t v;

@@ -92,6 +92,17 @@ module Sample = struct
           (s.(idx), float_of_int (idx + 1) /. float_of_int n))
     end
 
+  let iter f t =
+    for i = 0 to t.size - 1 do
+      f t.data.(i)
+    done
+
+  (* Append [src] in its insertion order so a merged sample is
+     indistinguishable from one built by a single accumulator that saw
+     the same observations in the same sequence — order matters for the
+     (order-sensitive) float [sum]/[mean]. *)
+  let append ~into src = iter (add into) src
+
   let clear t =
     t.data <- [||];
     t.size <- 0;

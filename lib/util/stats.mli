@@ -37,6 +37,15 @@ module Sample : sig
   (** All values, sorted ascending (a copy). *)
   val sorted : t -> float array
 
+  (** Visit values in insertion order. *)
+  val iter : (float -> unit) -> t -> unit
+
+  (** [append ~into src] adds every value of [src] to [into], preserving
+      [src]'s insertion order ([sum]/[mean] accumulate in that order, so
+      merged samples reproduce a single accumulator bit-for-bit). Used to
+      merge per-shard buffer samples after a sharded run. *)
+  val append : into:t -> t -> unit
+
   val clear : t -> unit
 end
 

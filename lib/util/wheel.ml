@@ -13,14 +13,20 @@
    holds entries of exactly one deadline.
 
    Ordering contract (what makes a wheel run byte-identical to the heap):
-   pops come out in strict (time, insertion-seq) order. No sorting is
-   needed to maintain it — same-time entries share every digit, so they
+   pops come out in strict (time, rank, insertion-seq) order, where the
+   rank is a caller-supplied secondary key (default 0). [push] requires
+   ranks to be non-decreasing among same-time entries — free for the
+   simulator, whose rank is its monotone clock — so no sorting is needed
+   to maintain the order: same-time entries share every digit, so they
    sit in the same bucket at every level, are appended in push order, and
    cascades preserve bucket order. The one exception is a push below the
    cursor (legal down to the last popped time: [Sim.run ~until] can park
    the cursor on a far-future event and then admit new near-term work
    between runs); those are placed into the cursor bucket by an explicit
-   sorted insert.
+   sorted insert. [push_late] lifts the monotone-rank requirement — a
+   PDES barrier inserts cross-shard deliveries whose rank (their virtual
+   send time) is below ranks already pushed — by paying a bucket scan to
+   find the (time, rank, seq) position.
 
    Cancellation is lazy: the wheel never searches for an entry. The
    optional [garbage] predicate lets the owner mark entries dead
@@ -28,10 +34,10 @@
    instead of re-dealing them, so tombstones cost one bucket slot until
    the next cascade sweeps them, never a re-insertion.
 
-   Buckets are parallel int arrays (time, seq) plus a value array, grown
-   geometrically and reused forever — steady-state push/pop allocates
-   nothing. Index arithmetic inside the scan loops is derived from
-   [bsize]-bounded cursors, so it uses unsafe accessors like Heap. *)
+   Buckets are parallel int arrays (time, rank, seq) plus a value array,
+   grown geometrically and reused forever — steady-state push/pop
+   allocates nothing. Index arithmetic inside the scan loops is derived
+   from [bsize]-bounded cursors, so it uses unsafe accessors like Heap. *)
 
 let bits = 8
 
@@ -45,6 +51,7 @@ let levels = 8
 
 type 'a bucket = {
   mutable bt : int array; (* absolute deadlines *)
+  mutable br : int array; (* secondary ranks *)
   mutable bs : int array; (* global insertion sequence numbers *)
   mutable bv : 'a array;
   mutable blen : int;
@@ -71,7 +78,7 @@ let () =
 let create ?(garbage = fun _ -> false) () =
   let lv =
     Array.init levels (fun _ ->
-        Array.init bsize (fun _ -> { bt = [||]; bs = [||]; bv = [||]; blen = 0 }))
+        Array.init bsize (fun _ -> { bt = [||]; br = [||]; bs = [||]; bv = [||]; blen = 0 }))
   in
   { lv; l0 = lv.(0); garbage; wnow = 0; ci = 0; size = 0; next_seq = 0; cap = 0 }
 
@@ -94,43 +101,67 @@ let level_for t time =
 
 (* Append one entry; [v] seeds the value array on first growth, after
    which slots are recycled (stale values are overwritten before use). *)
-let bucket_put t b time seq v =
+let bucket_put t b time rank seq v =
   let cap = Array.length b.bv in
   if b.blen = cap then begin
     let ncap = if cap = 0 then 8 else cap * 2 in
     t.cap <- t.cap + (ncap - cap);
-    let nt = Array.make ncap 0 and ns = Array.make ncap 0 and nv = Array.make ncap v in
+    let nt = Array.make ncap 0
+    and nr = Array.make ncap 0
+    and ns = Array.make ncap 0
+    and nv = Array.make ncap v in
     Array.blit b.bt 0 nt 0 b.blen;
+    Array.blit b.br 0 nr 0 b.blen;
     Array.blit b.bs 0 ns 0 b.blen;
     Array.blit b.bv 0 nv 0 b.blen;
     b.bt <- nt;
+    b.br <- nr;
     b.bs <- ns;
     b.bv <- nv
   end;
   Array.unsafe_set b.bt b.blen time;
+  Array.unsafe_set b.br b.blen rank;
   Array.unsafe_set b.bs b.blen seq;
   Array.unsafe_set b.bv b.blen v;
   b.blen <- b.blen + 1
 
 (* Sorted insert for pushes at or below the cursor: walk the fresh tail
-   entry left to its (time, seq) slot. [from] fences off already-popped
-   entries. The new entry's seq is the global maximum, so it only moves
-   past strictly-later deadlines — a push at the cursor time lands at the
-   tail without moving at all. *)
-let bucket_insert_sorted t b ~from time seq v =
-  bucket_put t b time seq v;
+   entry left to its (time, rank, seq) slot. [from] fences off already-
+   popped entries. The cursor bucket is kept fully sorted by this same
+   walk, so the lexicographic stop condition lands the entry exactly: a
+   monotone push (rank and seq both maximal) only moves past strictly-
+   later deadlines — a push at the cursor time lands at the tail without
+   moving at all — while a [push_late] entry also moves past same-time
+   entries of larger rank. *)
+let bucket_insert_sorted t b ~from time rank seq v =
+  bucket_put t b time rank seq v;
   let i = ref (b.blen - 1) in
-  while !i > from && Array.unsafe_get b.bt (!i - 1) > time do
-    Array.unsafe_set b.bt !i (Array.unsafe_get b.bt (!i - 1));
-    Array.unsafe_set b.bs !i (Array.unsafe_get b.bs (!i - 1));
-    Array.unsafe_set b.bv !i (Array.unsafe_get b.bv (!i - 1));
-    decr i
+  let continue = ref true in
+  while !continue && !i > from do
+    let j = !i - 1 in
+    let tj = Array.unsafe_get b.bt j in
+    let after =
+      tj > time
+      || (tj = time
+         &&
+         let rj = Array.unsafe_get b.br j in
+         rj > rank || (rj = rank && Array.unsafe_get b.bs j > seq))
+    in
+    if after then begin
+      Array.unsafe_set b.bt !i tj;
+      Array.unsafe_set b.br !i (Array.unsafe_get b.br j);
+      Array.unsafe_set b.bs !i (Array.unsafe_get b.bs j);
+      Array.unsafe_set b.bv !i (Array.unsafe_get b.bv j);
+      decr i
+    end
+    else continue := false
   done;
   Array.unsafe_set b.bt !i time;
+  Array.unsafe_set b.br !i rank;
   Array.unsafe_set b.bs !i seq;
   Array.unsafe_set b.bv !i v
 
-let push t ~priority:time value =
+let push t ?(rank = 0) ~priority:time value =
   if time < 0 then invalid_arg "Wheel.push: negative priority";
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
@@ -138,16 +169,91 @@ let push t ~priority:time value =
   if time <= t.wnow then
     (* cursor bucket: either exactly the cursor deadline, or the
        below-cursor staging case described in the header comment *)
-    bucket_insert_sorted t (Array.unsafe_get t.l0 (t.wnow land bmask)) ~from:t.ci time seq value
+    bucket_insert_sorted t (Array.unsafe_get t.l0 (t.wnow land bmask)) ~from:t.ci time rank seq
+      value
   else begin
     let l = level_for t time in
     let b = Array.unsafe_get (Array.unsafe_get t.lv l) ((time lsr (l * bits)) land bmask) in
-    bucket_put t b time seq value
+    bucket_put t b time rank seq value;
+    (* Insertion-sort the fresh tail entry left past larger ranks. With
+       fully monotone ranks this loop runs zero iterations (one compare);
+       it exists for the bounded disorder the simulator produces — pushes
+       within one clock instant carry a canonical low-bits key, so a
+       burst of same-instant pushes is not rank-sorted on arrival. Ranks
+       across instants are monotone, so the walk never leaves the
+       same-instant tail, and the bucket stays rank-sorted — which is
+       what keeps same-deadline runs in (rank, seq) pop order. *)
+    let i = ref (b.blen - 1) in
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let j = !i - 1 in
+      if Array.unsafe_get b.br j > rank then begin
+        Array.unsafe_set b.bt !i (Array.unsafe_get b.bt j);
+        Array.unsafe_set b.br !i (Array.unsafe_get b.br j);
+        Array.unsafe_set b.bs !i (Array.unsafe_get b.bs j);
+        Array.unsafe_set b.bv !i (Array.unsafe_get b.bv j);
+        decr i
+      end
+      else continue := false
+    done;
+    if !i < b.blen - 1 then begin
+      Array.unsafe_set b.bt !i time;
+      Array.unsafe_set b.br !i rank;
+      Array.unsafe_set b.bs !i seq;
+      Array.unsafe_set b.bv !i value
+    end
+  end
+
+(* Out-of-rank-order insert (the PDES barrier): the entry's rank may be
+   below ranks already resident at the same deadline, so the append fast
+   path would mis-order it. Above the cursor the target bucket is not
+   time-sorted (digit placement orders deadlines), so the entry goes
+   immediately before the leftmost same-deadline entry of larger
+   (rank, seq) — an O(bucket) scan, fine for the handful of cross-shard
+   messages a barrier carries. At or below the cursor the sorted insert
+   already handles arbitrary ranks. *)
+let push_late t ~priority:time ~rank value =
+  if time < 0 then invalid_arg "Wheel.push_late: negative priority";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.size <- t.size + 1;
+  if time <= t.wnow then
+    bucket_insert_sorted t (Array.unsafe_get t.l0 (t.wnow land bmask)) ~from:t.ci time rank seq
+      value
+  else begin
+    let l = level_for t time in
+    let b = Array.unsafe_get (Array.unsafe_get t.lv l) ((time lsr (l * bits)) land bmask) in
+    (* leftmost same-deadline entry strictly after (rank, seq), if any *)
+    let pos = ref (-1) in
+    let i = ref 0 in
+    while !pos < 0 && !i < b.blen do
+      (if Array.unsafe_get b.bt !i = time then begin
+         let ri = Array.unsafe_get b.br !i in
+         if ri > rank || (ri = rank && Array.unsafe_get b.bs !i > seq) then pos := !i
+       end);
+      incr i
+    done;
+    bucket_put t b time rank seq value;
+    match !pos with
+    | -1 -> () (* no later same-deadline entry: the tail is the slot *)
+    | p ->
+      let last = b.blen - 1 in
+      for j = last downto p + 1 do
+        Array.unsafe_set b.bt j (Array.unsafe_get b.bt (j - 1));
+        Array.unsafe_set b.br j (Array.unsafe_get b.br (j - 1));
+        Array.unsafe_set b.bs j (Array.unsafe_get b.bs (j - 1));
+        Array.unsafe_set b.bv j (Array.unsafe_get b.bv (j - 1))
+      done;
+      Array.unsafe_set b.bt p time;
+      Array.unsafe_set b.br p rank;
+      Array.unsafe_set b.bs p seq;
+      Array.unsafe_set b.bv p value
   end
 
 (* Re-deal a cascading bucket into the levels below; dead entries are
    purged here instead of travelling further down the hierarchy. Source
-   order is preserved, which keeps same-deadline runs in seq order. *)
+   order is preserved, which keeps same-deadline runs in (rank, seq)
+   order. *)
 let redistribute t src =
   let n = src.blen in
   src.blen <- 0;
@@ -158,7 +264,7 @@ let redistribute t src =
       let time = Array.unsafe_get src.bt k in
       let l = level_for t time in
       let b = Array.unsafe_get (Array.unsafe_get t.lv l) ((time lsr (l * bits)) land bmask) in
-      bucket_put t b time (Array.unsafe_get src.bs k) v
+      bucket_put t b time (Array.unsafe_get src.br k) (Array.unsafe_get src.bs k) v
     end
   done
 

@@ -3,9 +3,13 @@
     {!Heap}.
 
     Entries are keyed by a non-negative integer deadline ([priority])
-    and pop in strict (deadline, insertion order) sequence — the same
-    total order {!Heap} produces — so a simulator can switch between
-    the two backends and replay byte-identical schedules.
+    and pop in strict (deadline, rank, insertion order) sequence — the
+    same total order {!Heap} produces — so a simulator can switch
+    between the two backends and replay byte-identical schedules. The
+    rank is an optional secondary key (default 0); {!push} requires it
+    to be non-decreasing among same-deadline entries (free when the
+    rank is the simulator's monotone clock), while {!push_late} accepts
+    arbitrary ranks at a per-push scan cost.
 
     The wheel is hierarchical: 8 levels of 256 power-of-two buckets,
     covering the full non-negative [int] range. Far-future entries park
@@ -42,11 +46,24 @@ val is_empty : 'a t -> bool
 val capacity : 'a t -> int
 (** Total allocated bucket slots across all levels (profiling). *)
 
-val push : 'a t -> priority:int -> 'a -> unit
-(** [push t ~priority v] inserts [v] with deadline [priority].
-    [priority] must be [>= 0] and at or after the last popped
-    deadline; violating the latter silently mis-orders. Amortized
-    O(1); allocates only when a bucket grows. *)
+val push : 'a t -> ?rank:int -> priority:int -> 'a -> unit
+(** [push t ?rank ~priority v] inserts [v] with deadline [priority];
+    [rank] (default 0) breaks deadline ties ahead of insertion order.
+    [priority] must be [>= 0] and at or after the last popped deadline.
+    Ranks must be pushed in non-decreasing order except within a
+    trailing burst (the simulator: insertions at one clock instant,
+    whose rank low bits carry a canonical key) — the burst is
+    insertion-sorted on arrival, zero-cost when ranks arrive monotone.
+    A rank below ranks pushed before the current burst silently
+    mis-orders (use {!push_late} for that). Amortized O(1); allocates
+    only when a bucket grows. *)
+
+val push_late : 'a t -> priority:int -> rank:int -> 'a -> unit
+(** Like {!push} but accepts a [rank] below ranks already resident at
+    the same deadline, placing the entry at its (deadline, rank,
+    insertion order) position — how a PDES barrier inserts a
+    cross-shard delivery at the rank of its virtual send time. Costs a
+    scan of the target bucket. *)
 
 val head_time : 'a t -> int
 (** Deadline of the next entry to pop, or [-1] when the wheel is empty

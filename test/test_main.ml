@@ -19,4 +19,5 @@ let () =
       ("ir", Test_ir.suite);
       ("perf", Test_perf.suite);
       ("obs", Test_obs.suite);
+      ("pdes", Test_pdes.suite);
     ]
