@@ -39,6 +39,13 @@
                                                  core count (adds a "pdes"
                                                  block; combines with the
                                                  flags above)
+     dune exec bench/main.exe -- --streaming -- sketch accuracy vs exact
+                                                 on the same run, plus the
+                                                 run_stream memory-scaling
+                                                 legs (N/4 and N streaming
+                                                 flows vs an exact baseline;
+                                                 N = BFC_STREAM_FLOWS or 2M;
+                                                 adds a "streaming" block)
      dune exec bench/main.exe -- --engine-profile
                                               -- one quick run, engine
                                                  self-profile JSON on stdout *)
@@ -394,6 +401,117 @@ let run_stress () =
     clean_e clean_s clean_eps fault_e fault_s fault_eps overhead_pct
 
 (* ------------------------------------------------------------------ *)
+(* Streaming-observability benchmark (two questions, two sub-blocks):
+
+   - accuracy: one reference run with streaming on retains BOTH the exact
+     per-flow samples and the sketches, so the sketch-backed FCT table can
+     be compared percentile-by-percentile against the exact table from
+     the very same flows. CI gates max_rel_err against the sketches'
+     configured alpha.
+
+   - mem_scale: the run_stream driver at N/4 and N flows with streaming
+     observability (sketches + reclaimed transport state), plus an exact
+     leg (every flow record retained) at a smaller count as the memory
+     baseline. The gate is sublinearity: quadrupling the flow count must
+     not quadruple peak heap. flows_per_gb = completed / peak-heap-GB. *)
+
+let run_streaming () =
+  Printf.printf "\n################ streaming benchmark: sketch accuracy + memory scaling\n%!";
+  let module Metrics = Bfc_sim.Metrics in
+  (* 1. accuracy: exact vs sketch on the same quick reference run *)
+  Exp_common.set_streaming true;
+  let r = Exp_common.run_std (quick_setup 1) in
+  Exp_common.set_streaming false;
+  let sk = match r.Exp_common.sketches with Some sk -> sk | None -> assert false in
+  let exact_rows =
+    Metrics.fct_table r.Exp_common.env ~since:r.Exp_common.measure_from r.Exp_common.flows
+  in
+  let sketch_rows = Metrics.fct_table_of_sketches sk in
+  let exact_all = Metrics.fct_overall r.Exp_common.env r.Exp_common.flows in
+  let sketch_all = Metrics.fct_overall_of_sketches sk in
+  let max_err = ref 0.0 and n_cmp = ref 0 in
+  let cmp exact approx =
+    if exact > 0.0 && Float.is_finite exact then begin
+      let e = Float.abs (approx -. exact) /. exact in
+      incr n_cmp;
+      if e > !max_err then max_err := e
+    end
+  in
+  List.iter2
+    (fun (e : Metrics.fct_stats) (s : Metrics.fct_stats) ->
+      if e.Metrics.count <> s.Metrics.count then
+        failwith
+          (Printf.sprintf "streaming bench: bucket %s count mismatch (exact %d, sketch %d)"
+             e.Metrics.bucket e.Metrics.count s.Metrics.count);
+      cmp e.Metrics.p50 s.Metrics.p50;
+      cmp e.Metrics.p95 s.Metrics.p95;
+      cmp e.Metrics.p99 s.Metrics.p99)
+    (exact_all :: exact_rows) (sketch_all :: sketch_rows);
+  let alpha = Metrics.sketches_alpha sk in
+  Printf.printf "  accuracy: %d percentiles compared, max rel err %.4f (alpha %.3f)\n%!" !n_cmp
+    !max_err alpha;
+  Printf.printf "  overall p99: exact %.3f, sketch %.3f\n%!" exact_all.Metrics.p99
+    sketch_all.Metrics.p99;
+  (* 2. memory scaling: run_stream at N/4 and N, exact baseline leg *)
+  let n_flows =
+    match Option.bind (Sys.getenv_opt "BFC_STREAM_FLOWS") int_of_string_opt with
+    | Some n when n >= 4 -> n
+    | _ -> 2_000_000
+  in
+  let stream_leg name ~streaming ~flows =
+    Gc.compact ();
+    let s = Exp_common.run_stream ~streaming ~flows () in
+    let peak_gb = float_of_int s.Exp_common.sr_peak_heap_words *. 8.0 /. 1e9 in
+    let fpg = float_of_int s.Exp_common.sr_completed /. peak_gb in
+    let eps = float_of_int s.Exp_common.sr_events /. s.Exp_common.sr_elapsed_s in
+    Printf.printf
+      "  [%-9s] flows %d/%d, events %d, wall %.2f s, %.0f events/sec, peak heap %.1f MB, %.0f \
+       flows/GB\n\
+       %!"
+      name s.Exp_common.sr_completed s.Exp_common.sr_injected s.Exp_common.sr_events
+      s.Exp_common.sr_elapsed_s eps (peak_gb *. 1e3) fpg;
+    let json =
+      Printf.sprintf
+        {|{ "flows": %d, "events": %d, "seconds": %.3f, "events_per_sec": %.0f, "peak_heap_words": %d, "flows_per_gb": %.0f }|}
+        s.Exp_common.sr_completed s.Exp_common.sr_events s.Exp_common.sr_elapsed_s eps
+        s.Exp_common.sr_peak_heap_words fpg
+    in
+    (json, s.Exp_common.sr_peak_heap_words, fpg)
+  in
+  let exact_json, _, exact_fpg =
+    stream_leg "exact" ~streaming:false ~flows:(min n_flows 200_000)
+  in
+  let quarter_json, quarter_peak, _ = stream_leg "stream/4" ~streaming:true ~flows:(n_flows / 4) in
+  let full_json, full_peak, full_fpg = stream_leg "streaming" ~streaming:true ~flows:n_flows in
+  let growth = float_of_int full_peak /. float_of_int (max 1 quarter_peak) in
+  let sublinear = growth < 4.0 in
+  let gain = full_fpg /. exact_fpg in
+  Printf.printf "  heap growth 4x flows  %.2fx (%s), flows/GB gain vs exact %.1fx\n%!" growth
+    (if sublinear then "sublinear" else "NOT sublinear") gain;
+  Printf.sprintf
+    {|"streaming": {
+    "alpha": %.4f,
+    "accuracy": {
+      "workload": "run_std quick bfc seed=1, sketch vs exact on the same flows",
+      "percentiles_compared": %d,
+      "max_rel_err": %.5f,
+      "overall_p99_exact": %.4f,
+      "overall_p99_sketch": %.4f
+    },
+    "mem_scale": {
+      "workload": "run_stream quick clos, single-MTU flows, sliding-window arrivals",
+      "exact": %s,
+      "streaming_quarter": %s,
+      "streaming": %s,
+      "heap_growth_ratio_4x_flows": %.3f,
+      "sublinear": %b,
+      "flows_per_gb_gain": %.2f
+    }
+  }|}
+    alpha !n_cmp !max_err exact_all.Metrics.p99 sketch_all.Metrics.p99 exact_json quarter_json
+    full_json growth sublinear gain
+
+(* ------------------------------------------------------------------ *)
 (* Scheduler microbenchmark: raw Heap vs Wheel throughput, isolated from
    the rest of the engine. Two steady states per pending-set size:
      - push/pop: fill with n deadlines, then drain, repeatedly;
@@ -531,6 +649,7 @@ let () =
   let stress = ref false in
   let ir = ref false in
   let pdes = ref false in
+  let streaming = ref false in
   let csv_dir = ref None in
   let jobs = ref (Pool.recommended_jobs ()) in
   let bench_out = ref "BENCH_engine.json" in
@@ -563,6 +682,9 @@ let () =
     | "--pdes" :: rest ->
       pdes := true;
       parse rest
+    | "--streaming" :: rest ->
+      streaming := true;
+      parse rest
     | "--engine-profile" :: _ ->
       (* one quick run, engine self-profile JSON on stdout (--profile is
          taken by the scale selector, hence the distinct flag name) *)
@@ -580,13 +702,14 @@ let () =
       parse rest
   in
   parse args;
-  if !macro || !sched || !stress || !ir || !pdes then begin
+  if !macro || !sched || !stress || !ir || !pdes || !streaming then begin
     let blocks =
       (if !macro then [ run_macro ~jobs:!jobs () ] else [])
       @ (if !sched then [ run_sched () ] else [])
       @ (if !stress then [ run_stress () ] else [])
       @ (if !ir then [ run_ir () ] else [])
-      @ if !pdes then [ run_pdes () ] else []
+      @ (if !pdes then [ run_pdes () ] else [])
+      @ if !streaming then [ run_streaming () ] else []
     in
     write_bench ~out:!bench_out blocks
   end

@@ -40,6 +40,39 @@ let set_shards n =
   end;
   Bfc_sim.Pdes.set_default_shards n
 
+(* Streaming-observability flags, shared by run and sweep. *)
+let streaming_flag =
+  Arg.(value & flag
+      & info [ "streaming" ]
+          ~doc:
+            "Bounded-memory observability: FCT stats go through mergeable quantile sketches \
+             instead of exact per-flow samples (results identical at --shards N for any N).")
+
+let flowlog_arg =
+  Arg.(value & opt (some string) None
+      & info [ "flowlog" ] ~docv:"FILE"
+          ~doc:
+            "Write completed flows as a binary flow trace to $(docv) (chunked, \
+             constant-memory; replay with `bfc_sim flowlog`). Implies --streaming.")
+
+let alpha_arg =
+  Arg.(value & opt float 0.01
+      & info [ "alpha" ] ~docv:"A"
+          ~doc:"Relative-error bound of the streaming quantile sketches (default 1%).")
+
+let progress_flag =
+  Arg.(value & flag
+      & info [ "progress" ]
+          ~doc:"Print a live one-line progress report to stderr every sim-millisecond.")
+
+let set_streaming_cli streaming flowlog alpha progress =
+  if not (alpha > 0.0 && alpha < 0.5) then begin
+    Printf.eprintf "bfc_sim: --alpha must be in (0, 0.5) (got %g)\n" alpha;
+    exit 2
+  end;
+  Bfc_sim.Exp_common.set_streaming ~alpha ?flowlog ~progress
+    (streaming || flowlog <> None || progress)
+
 let list_cmd =
   let run () =
     List.iter
@@ -50,8 +83,9 @@ let list_cmd =
 
 let run_cmd =
   let targets = Arg.(value & pos_all string [] & info [] ~docv:"TARGET") in
-  let run profile shards targets =
+  let run profile shards streaming flowlog alpha progress targets =
     set_shards shards;
+    set_streaming_cli streaming flowlog alpha progress;
     let chosen =
       match targets with
       | [] -> Experiments.all
@@ -67,7 +101,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run experiment targets (all if none given)")
-    Term.(const run $ profile_arg $ shards_arg $ targets)
+    Term.(const run $ profile_arg $ shards_arg $ streaming_flag $ flowlog_arg $ alpha_arg
+          $ progress_flag $ targets)
 
 let scheme_conv =
   let parse = function
@@ -110,8 +145,9 @@ let sweep_cmd =
             ~doc:"Pause-watchdog timeout in microseconds on every device; 0 disables it.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ]) in
-  let run profile scheme dist load incast watchdog seed shards =
+  let run profile scheme dist load incast watchdog seed shards streaming flowlog alpha progress =
     set_shards shards;
+    set_streaming_cli streaming flowlog alpha progress;
     let s =
       {
         (Exp_common.std profile scheme) with
@@ -144,7 +180,8 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"One ad-hoc Clos run with chosen scheme/workload/load")
-    Term.(const run $ profile_arg $ scheme $ dist $ load $ incast $ watchdog $ seed $ shards_arg)
+    Term.(const run $ profile_arg $ scheme $ dist $ load $ incast $ watchdog $ seed $ shards_arg
+          $ streaming_flag $ flowlog_arg $ alpha_arg $ progress_flag)
 
 let trace_cmd =
   let module Time = Bfc_engine.Time in
@@ -411,6 +448,99 @@ let stress_cmd =
           detectors attached")
     Term.(const run $ profile_arg $ seed $ jobs $ watchdog $ summary_out $ csv_dir)
 
+let stream_cmd =
+  let flows =
+    Arg.(value & opt int 2_000_000
+        & info [ "flows" ] ~docv:"N" ~doc:"Number of single-MTU flows to push through the fabric.")
+  in
+  let exact =
+    Arg.(value & flag
+        & info [ "exact" ]
+            ~doc:
+              "Retain every flow record and exact slowdown sample instead of streaming \
+               (the memory baseline the BENCH gate compares against).")
+  in
+  let scheme = Arg.(value & opt scheme_conv Scheme.bfc & info [ "scheme" ] ~docv:"SCHEME") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ]) in
+  let run flows exact scheme seed flowlog alpha progress =
+    if flows < 1 then begin
+      Printf.eprintf "bfc_sim: --flows must be >= 1 (got %d)\n" flows;
+      exit 2
+    end;
+    if not (alpha > 0.0 && alpha < 0.5) then begin
+      Printf.eprintf "bfc_sim: --alpha must be in (0, 0.5) (got %g)\n" alpha;
+      exit 2
+    end;
+    let r =
+      Exp_common.run_stream ~scheme ~seed ~alpha ?flowlog ~progress ~streaming:(not exact) ~flows
+        ()
+    in
+    let peak_bytes = float_of_int r.Exp_common.sr_peak_heap_words *. 8.0 in
+    Printf.printf
+      "mode=%s flows=%d/%d events=%d elapsed=%.2fs peak_heap=%.1fMB flows_per_gb=%.0f\n"
+      (if r.Exp_common.sr_streaming then "streaming" else "exact")
+      r.Exp_common.sr_completed r.Exp_common.sr_injected r.Exp_common.sr_events
+      r.Exp_common.sr_elapsed_s (peak_bytes /. 1e6)
+      (float_of_int r.Exp_common.sr_completed /. (peak_bytes /. 1e9));
+    let row (s : Metrics.fct_stats) =
+      [
+        s.Metrics.bucket;
+        string_of_int s.Metrics.count;
+        Exp_common.cell s.Metrics.avg;
+        Exp_common.cell s.Metrics.p50;
+        Exp_common.cell s.Metrics.p95;
+        Exp_common.cell s.Metrics.p99;
+      ]
+    in
+    Exp_common.print_table
+      {
+        Exp_common.title = "FCT slowdown";
+        header = [ "bucket"; "n"; "avg"; "p50"; "p95"; "p99" ];
+        rows = row r.Exp_common.sr_overall :: List.map row r.Exp_common.sr_table;
+      }
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Memory-scale run: millions of single-MTU flows through a Quick Clos with \
+          sliding-window arrival generation, sketch-backed FCT stats and per-flow transport \
+          state reclaimed after completion — resident memory tracks flows in flight, not flows \
+          ever run")
+    Term.(const run $ flows $ exact $ scheme $ seed $ flowlog_arg $ alpha_arg $ progress_flag)
+
+let flowlog_cmd =
+  let module Flowlog = Bfc_obs.Flowlog in
+  let module Sketch = Bfc_obs.Sketch in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let run path =
+    let sk = Sketch.create ~alpha:0.01 () in
+    let n = ref 0 and incast = ref 0 and bytes = ref 0 in
+    let t_lo = ref infinity and t_hi = ref neg_infinity in
+    let truncated =
+      Flowlog.iter_file path ~f:(fun r ->
+          incr n;
+          if r.Flowlog.incast then incr incast;
+          bytes := !bytes + r.Flowlog.size;
+          if r.Flowlog.arrival < !t_lo then t_lo := r.Flowlog.arrival;
+          if r.Flowlog.arrival > !t_hi then t_hi := r.Flowlog.arrival;
+          if r.Flowlog.ideal > 0.0 then Sketch.add sk (r.Flowlog.fct /. r.Flowlog.ideal))
+    in
+    Printf.printf "flowlog %s: records=%d incast=%d bytes=%d truncated=%b\n" path !n !incast !bytes
+      truncated;
+    if !n > 0 then
+      Printf.printf "arrivals: %.6fs .. %.6fs\n" !t_lo !t_hi;
+    if not (Sketch.is_empty sk) then
+      Printf.printf "slowdown: mean=%.3f p50=%.3f p95=%.3f p99=%.3f\n" (Sketch.mean sk)
+        (Sketch.percentile sk 50.0) (Sketch.percentile sk 95.0) (Sketch.percentile sk 99.0);
+    if truncated then Stdlib.exit 3
+  in
+  Cmd.v
+    (Cmd.info "flowlog"
+       ~doc:
+         "Replay a binary flow trace incrementally (O(chunk) memory however large the file) and \
+          summarise it; exits 3 if the file ends mid-chunk")
+    Term.(const run $ path)
+
 let ir_cmd =
   let validate =
     Arg.(
@@ -525,4 +655,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; sweep_cmd; trace_cmd; faults_cmd; stress_cmd; ir_cmd; lint_cmd ]))
+          [ list_cmd; run_cmd; sweep_cmd; trace_cmd; faults_cmd; stress_cmd; stream_cmd;
+            flowlog_cmd; ir_cmd; lint_cmd ]))

@@ -205,9 +205,17 @@ let rearm ?(key = key_mask) h ~at:time =
   t.live <- t.live + 1;
   t.rearms <- t.rearms + 1
 
+(* Cancellation only tombstones the queue entry (neither backend supports
+   removal from the middle), but the closure is dropped eagerly: a cancelled
+   RTO's closure is often the only thing keeping a finished flow's transport
+   state alive, and the stale entry can outlive the whole run. Reusable
+   handles keep their [fn] — [rearm] exists to reuse it. *)
+let noop_fn () = ()
+
 let cancel h =
   if h.alive && not h.fired then begin
     h.alive <- false;
+    if h.cls <> cls_reusable then h.fn <- noop_fn;
     h.owner.live <- h.owner.live - 1;
     h.owner.cancels <- h.owner.cancels + 1
   end
@@ -263,6 +271,10 @@ let step t =
       t.executed <- t.executed + 1;
       t.exec_by_class.(h.cls) <- t.exec_by_class.(h.cls) + 1;
       h.fn ();
+      (* A fired one-shot never runs again; drop the closure so recycled
+         queue slots that still point at the handle can't keep whatever
+         it captured (often a flow's transport state) alive. *)
+      if h.cls = cls_one_shot then h.fn <- noop_fn;
       true
     end
     else false

@@ -13,6 +13,7 @@ let dataplane_files =
     "lib/stress/detect.ml";
     "lib/obs/registry.ml";
     "lib/obs/trace.ml";
+    "lib/obs/sketch.ml";
     "lib/engine/channel.ml";
   ]
 

@@ -1,0 +1,63 @@
+(** Versioned binary flow-trace format with bounded-memory streaming I/O.
+
+    On disk: a 16-byte header (magic ["BFCFLOG1"], version, record size)
+    followed by self-delimiting chunks. Each chunk stores up to a few
+    thousand records in struct-of-arrays form (a count, then one column
+    per field), all little-endian and fixed-size — 48 bytes per record.
+
+    The {!Writer} buffers one chunk and serialises it in a single write;
+    the reader holds one chunk at a time, so arbitrarily large traces
+    stream through O(chunk) memory in both directions. A trace cut short
+    mid-chunk (a killed run) is still readable up to the last complete
+    chunk; the reader reports the damage via its [truncated] flag instead
+    of failing. *)
+
+type record = {
+  id : int;
+  src : int; (* host indices *)
+  dst : int;
+  size : int; (* bytes *)
+  incast : bool;
+  prio_class : int;
+  arrival : float; (* seconds *)
+  fct : float;
+  ideal : float; (* ideal (unloaded) FCT; slowdown = fct / ideal *)
+}
+
+val version : int
+
+(** Bytes per record on disk (fixed for version 1). *)
+val record_bytes : int
+
+(** Records per chunk when the writer is not told otherwise. *)
+val default_chunk : int
+
+module Writer : sig
+  type t
+
+  (** [create ?chunk oc] writes the header immediately and buffers up to
+      [chunk] records (default {!default_chunk}) between flushes. The
+      caller retains ownership of [oc]. *)
+  val create : ?chunk:int -> out_channel -> t
+
+  val append : t -> record -> unit
+
+  (** Records appended so far (flushed or buffered). *)
+  val count : t -> int
+
+  (** Flush the partial chunk and the channel buffer. The channel stays
+      open; [append] after [close] starts a new chunk and is valid. *)
+  val close : t -> unit
+end
+
+(** [fold_channel ic ~init ~f] streams every complete record through [f]
+    in file order, holding one chunk at a time. Returns the accumulator
+    and a [truncated] flag: [true] when the file ends mid-chunk (the
+    partial chunk is dropped). Raises [Invalid_argument] on a bad header. *)
+val fold_channel : in_channel -> init:'a -> f:('a -> record -> 'a) -> 'a * bool
+
+(** {!fold_channel} over a file path (opened binary, always closed). *)
+val fold_file : string -> init:'a -> f:('a -> record -> 'a) -> 'a * bool
+
+(** Iterate a file; returns the [truncated] flag. *)
+val iter_file : string -> f:(record -> unit) -> bool

@@ -93,12 +93,9 @@ let sample_gauges t =
   else List.init t.g_n (fun i -> (t.g_names.(i), t.g_fns.(i) ()))
 
 let check_edges edges =
-  let n = Array.length edges in
-  if n = 0 then invalid_arg "Registry.histogram: empty edges";
-  for i = 1 to n - 1 do
-    if not (edges.(i) > edges.(i - 1)) then
-      invalid_arg "Registry.histogram: edges must be strictly ascending"
-  done
+  try Bfc_util.Buckets.check ~edges
+  with Invalid_argument _ ->
+    invalid_arg "Registry.histogram: edges must be non-empty and strictly ascending"
 
 (* registration time; bfc-lint: control-plane *)
 let histogram t name ~edges =
@@ -121,22 +118,10 @@ let histogram t name ~edges =
     t.h_n <- i + 1;
     i
 
-(* First bucket i with v < edges.(i); overflow bucket otherwise. Binary
-   search keeps wide histograms O(log buckets) on the hot path. *)
-let bucket_of edges v =
-  let n = Array.length edges in
-  if v < edges.(0) then 0
-  else if v >= edges.(n - 1) then n
-  else begin
-    let lo = ref 0 and hi = ref (n - 1) in
-    (* invariant: v >= edges.(!lo), v < edges.(!hi); the loop is a binary
-       search bounded by log2(buckets); bfc-lint: allow df-while *)
-    while !hi - !lo > 1 do
-      let mid = (!lo + !hi) / 2 in
-      if v >= edges.(mid) then lo := mid else hi := mid
-    done;
-    !hi
-  end
+(* First bucket i with v < edges.(i); overflow bucket otherwise. The
+   shared binary search keeps wide histograms O(log buckets) on the hot
+   path (Buckets.upper_index is the overflow-bucket flavour verbatim). *)
+let bucket_of edges v = Bfc_util.Buckets.upper_index ~edges v
 
 let observe t h v =
   if t.enabled then begin

@@ -18,6 +18,7 @@ type t = {
   mutable next : int; (* ring cursor (bounded) / append cursor (unbounded) *)
   mutable count : int; (* buffered records *)
   mutable recorded : int; (* total ever *)
+  mutable sink : out_channel option; (* streaming export: flush-and-reset target *)
   (* interned names with their two arg keys *)
   mutable names : string array;
   mutable akeys : string array;
@@ -39,6 +40,7 @@ let create ?(capacity = 0) () =
     next = 0;
     count = 0;
     recorded = 0;
+    sink = None;
     names = [||];
     akeys = [||];
     bkeys = [||];
@@ -82,8 +84,55 @@ let grow t =
   t.a <- g t.a absent;
   t.b <- g t.b absent
 
+(* Oldest record: in a wrapped ring it sits at the cursor; otherwise 0. *)
+let iter t f =
+  let cap = Array.length t.ts in
+  let start = if t.capacity > 0 && t.recorded > t.count then t.next else 0 in
+  for k = 0 to t.count - 1 do
+    let i = (start + k) mod cap in
+    let opt v = if v = absent then None else Some v in
+    f ~ts:t.ts.(i) ~dur:t.dur.(i) ~name:t.name.(i) ~pid:t.pid.(i) ~tid:t.tid.(i)
+      ~a:(opt t.a.(i)) ~b:(opt t.b.(i))
+  done
+
+(* bfc-lint: control-plane *)
+let args_json t ~name ~a ~b =
+  match (a, b) with
+  | None, None -> ""
+  | Some a, None -> Printf.sprintf ",\"args\":{\"%s\":%d}" t.akeys.(name) a
+  | None, Some b -> Printf.sprintf ",\"args\":{\"%s\":%d}" t.bkeys.(name) b
+  | Some a, Some b ->
+    Printf.sprintf ",\"args\":{\"%s\":%d,\"%s\":%d}" t.akeys.(name) a t.bkeys.(name) b
+
+(* bfc-lint: control-plane *)
+let jsonl_row t oc ~ts ~dur ~name ~pid ~tid ~a ~b =
+  let args = args_json t ~name ~a ~b in
+  output_string oc
+    (Printf.sprintf "{\"ts\":%d,\"dur\":%d,\"name\":\"%s\",\"pid\":%d,\"tid\":%d%s}\n" ts dur
+       t.names.(name) pid tid args)
+
+(* Drain buffered records to the sink as JSONL oldest-first and reset the
+   buffer (interned names survive), then flush the channel so a live run
+   can be tailed. No-op without a sink. bfc-lint: control-plane *)
+let flush t =
+  match t.sink with
+  | None -> ()
+  | Some oc ->
+    if t.count > 0 then begin
+      iter t (fun ~ts ~dur ~name ~pid ~tid ~a ~b -> jsonl_row t oc ~ts ~dur ~name ~pid ~tid ~a ~b);
+      t.next <- 0;
+      t.count <- 0;
+      Stdlib.flush oc
+    end
+
+let set_sink t oc = t.sink <- Some oc
+
 let record t ~ts ~dur ~name ~pid ~tid ~a ~b =
-  if t.capacity <= 0 && t.next = Array.length t.ts then grow t;
+  (* With a sink, a full buffer drains to it (the capacity acts as the
+     chunk size) instead of growing or overwriting ring-style. *)
+  (match t.sink with
+  | Some _ -> if t.count = Array.length t.ts then flush t
+  | None -> if t.capacity <= 0 && t.next = Array.length t.ts then grow t);
   let cap = Array.length t.ts in
   let i = t.next in
   t.ts.(i) <- ts;
@@ -107,31 +156,11 @@ let length t = t.count
 
 let recorded t = t.recorded
 
-(* Oldest record: in a wrapped ring it sits at the cursor; otherwise 0. *)
-let iter t f =
-  let cap = Array.length t.ts in
-  let start = if t.capacity > 0 && t.recorded > t.count then t.next else 0 in
-  for k = 0 to t.count - 1 do
-    let i = (start + k) mod cap in
-    let opt v = if v = absent then None else Some v in
-    f ~ts:t.ts.(i) ~dur:t.dur.(i) ~name:t.name.(i) ~pid:t.pid.(i) ~tid:t.tid.(i)
-      ~a:(opt t.a.(i)) ~b:(opt t.b.(i))
-  done
-
 (* ------------------------------------------------------------------ *)
 (* Exporters *)
 
 (* bfc-lint: control-plane *)
 let us_of_ns ns = Printf.sprintf "%.3f" (float_of_int ns /. 1000.0)
-
-(* bfc-lint: control-plane *)
-let args_json t ~name ~a ~b =
-  match (a, b) with
-  | None, None -> ""
-  | Some a, None -> Printf.sprintf ",\"args\":{\"%s\":%d}" t.akeys.(name) a
-  | None, Some b -> Printf.sprintf ",\"args\":{\"%s\":%d}" t.bkeys.(name) b
-  | Some a, Some b ->
-    Printf.sprintf ",\"args\":{\"%s\":%d,\"%s\":%d}" t.akeys.(name) a t.bkeys.(name) b
 
 (* Distinct (pid, tid) tracks of the buffered records, sorted. *)
 (* bfc-lint: control-plane *)
@@ -214,8 +243,4 @@ let to_chrome ?process_name ?track_name t oc =
 
 (* bfc-lint: control-plane *)
 let to_jsonl t oc =
-  iter t (fun ~ts ~dur ~name ~pid ~tid ~a ~b ->
-      let args = args_json t ~name ~a ~b in
-      output_string oc
-        (Printf.sprintf "{\"ts\":%d,\"dur\":%d,\"name\":\"%s\",\"pid\":%d,\"tid\":%d%s}\n" ts dur
-           t.names.(name) pid tid args))
+  iter t (fun ~ts ~dur ~name ~pid ~tid ~a ~b -> jsonl_row t oc ~ts ~dur ~name ~pid ~tid ~a ~b)

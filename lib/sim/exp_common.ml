@@ -54,6 +54,27 @@ type incast_mix = { degree : int; agg_frac_of_paper : float }
 
 let default_incast = { degree = 100; agg_frac_of_paper = 1.0 }
 
+(* ------------------------------------------------------------------ *)
+(* Ambient streaming-observability settings (same pattern as
+   Pdes.set_default_shards): the CLI sets them once at startup, before any
+   experiment runs; standard runs consult them when building params. *)
+
+type stream_settings = { ss_alpha : float; ss_flowlog : string option; ss_progress : bool }
+
+let stream_settings = ref None
+
+let set_streaming ?(alpha = 0.01) ?flowlog ?(progress = false) enabled =
+  stream_settings :=
+    if enabled then Some { ss_alpha = alpha; ss_flowlog = flowlog; ss_progress = progress }
+    else None
+
+let streaming_on () = Option.is_some !stream_settings
+
+let stream_alpha () =
+  match !stream_settings with
+  | Some ss -> ss.ss_alpha
+  | None -> 0.01
+
 type std_setup = {
   sp_profile : profile;
   sp_scheme : Scheme.t;
@@ -91,6 +112,7 @@ type std_result = {
   buffers : Sample.t;
   active : Sample.t option;
   measure_from : Time.t;
+  sketches : Metrics.fct_sketches option; (* present iff the run streamed *)
 }
 
 let std_params s =
@@ -101,7 +123,56 @@ let std_params s =
       classes = s.sp_classes;
       seed = s.sp_seed;
       homa_dist = s.sp_dist;
+      streaming = streaming_on ();
     }
+
+(* Chain sketch observation onto every host's completion callback (after
+   the runner's own completion counter). [env] must be the environment
+   owning those hosts — in a sharded run, each shard feeds its own sketch
+   from its own replica records. *)
+let attach_sketches env ~since =
+  let sk = Metrics.sketches_create ~alpha:(stream_alpha ()) ~since () in
+  Runner.iter_hosts env (fun h ->
+      Bfc_transport.Host.add_on_complete h (fun f -> Metrics.sketches_observe env sk f));
+  sk
+
+let ns_to_s t = float_of_int t /. 1e9
+
+let flow_record env f =
+  {
+    Bfc_obs.Flowlog.id = f.Bfc_net.Flow.id;
+    src = f.Bfc_net.Flow.src;
+    dst = f.Bfc_net.Flow.dst;
+    size = f.Bfc_net.Flow.size;
+    incast = f.Bfc_net.Flow.is_incast;
+    prio_class = f.Bfc_net.Flow.prio_class;
+    arrival = ns_to_s f.Bfc_net.Flow.arrival;
+    fct = ns_to_s (Bfc_net.Flow.fct f);
+    ideal = ns_to_s (Runner.ideal_fct env f);
+  }
+
+(* Post-run flowlog dump for standard runs: completed flows in generation
+   order. The writer is chunked, so even a huge flow list streams through
+   a bounded serialisation buffer. *)
+let write_flowlog_file env flows ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let w = Bfc_obs.Flowlog.Writer.create oc in
+      List.iter (fun f -> if Bfc_net.Flow.complete f then
+                    Bfc_obs.Flowlog.Writer.append w (flow_record env f)) flows;
+      Bfc_obs.Flowlog.Writer.close w)
+
+let maybe_write_flowlog env flows =
+  match !stream_settings with
+  | Some { ss_flowlog = Some path; _ } -> write_flowlog_file env flows ~path
+  | _ -> ()
+
+let maybe_progress env =
+  match !stream_settings with
+  | Some { ss_progress = true; _ } -> Telemetry.progress_reporter env stderr
+  | _ -> ()
 
 let std_duration s =
   int_of_float (s.sp_dur_mult *. float_of_int (duration s.sp_profile ~dist:s.sp_dist))
@@ -173,18 +244,23 @@ let run_std_seq s =
   let params = std_params s in
   let env = Runner.setup ~topo:cl.Topology.t ~scheme:s.sp_scheme ~params in
   let dur = std_duration s in
+  let measure_from = dur / 10 in
   let flows = gen_flows s ~cl ~dur in
   let buffers = Metrics.watch_buffers env ~period:(Time.us 5.0) in
   let active =
     if s.sp_track_active then Some (Metrics.watch_active_flows env ~period:(Time.us 10.0))
     else None
   in
+  let sketches =
+    if params.Runner.streaming then Some (attach_sketches env ~since:measure_from) else None
+  in
+  if params.Runner.streaming then maybe_progress env;
   s.sp_obs env;
   Runner.inject env flows;
   Runner.run env ~until:dur;
   Runner.drain env ~budget:(8 * dur);
-  let measure_from = dur / 10 in
-  { env; flows; buffers; active; measure_from }
+  if params.Runner.streaming then maybe_write_flowlog env flows;
+  { env; flows; buffers; active; measure_from; sketches }
 
 (* ------------------------------------------------------------------ *)
 (* Sharded (PDES) execution of the same standard run.
@@ -274,7 +350,16 @@ let run_std_sharded s ~shards =
           ~owned:(fun n -> Bfc_net.Partition.owner part n = k)
           ~topo:reps.(k).Topology.t ~scheme:s.sp_scheme ~params)
   in
+  let measure_from = dur / 10 in
   let flows_a = Array.init shards (fun k -> Array.of_list (gen_flows s ~cl:reps.(k) ~dur)) in
+  (* per-shard sketches fed by each shard's own completions; merged after
+     quiescence (Sketch.merge is exact, so the merged table is identical
+     to a sequential streaming run's) *)
+  let sketches_a =
+    if params.Runner.streaming then
+      Some (Array.map (fun env -> attach_sketches env ~since:measure_from) envs)
+    else None
+  in
   let buffers_a = Array.map (fun env -> Metrics.watch_buffers env ~period:(Time.us 5.0)) envs in
   let active_a =
     if s.sp_track_active then
@@ -340,8 +425,18 @@ let run_std_sharded s ~shards =
                (arr.(k), switch_cols Bfc_switch.Switch.n_ports envs.(k)))))
       active_a
   in
-  let measure_from = dur / 10 in
-  { env; flows; buffers; active; measure_from }
+  let sketches =
+    Option.map
+      (fun arr ->
+        let into = arr.(0) in
+        for k = 1 to shards - 1 do
+          Metrics.sketches_merge ~into arr.(k)
+        done;
+        into)
+      sketches_a
+  in
+  if params.Runner.streaming then maybe_write_flowlog env flows;
+  { env; flows; buffers; active; measure_from; sketches }
 
 let run_std s =
   let shards = Pdes.default_shards () in
@@ -363,7 +458,14 @@ let sweep_tagged points =
   List.combine (List.map (fun p -> p.pt_key) points) (sweep points)
 
 let fct_rows r =
-  let stats = Metrics.fct_table r.env ~since:r.measure_from r.flows in
+  (* streaming runs report from the sketches (counts exact, percentiles
+     within the configured relative-error bound); exact runs from the
+     retained per-flow samples *)
+  let stats =
+    match r.sketches with
+    | Some sk -> Metrics.fct_table_of_sketches sk
+    | None -> Metrics.fct_table r.env ~since:r.measure_from r.flows
+  in
   List.filter_map
     (fun (s : Metrics.fct_stats) ->
       if s.Metrics.count = 0 then None
@@ -380,3 +482,127 @@ let fct_rows r =
     stats
 
 let buffer_p99 r = if Sample.is_empty r.buffers then 0.0 else Sample.percentile r.buffers 99.0
+
+(* ------------------------------------------------------------------ *)
+(* Memory-scale streaming driver: millions of tiny flows through a Quick
+   Clos, generated in sliding windows (never materialising the full flow
+   list), with completions feeding sketches / the flowlog and per-flow
+   transport state reclaimed after a grace period — so resident memory
+   tracks flows in flight, not flows ever run. The [streaming:false] mode
+   retains everything the standard path would (the flow records and their
+   exact slowdown samples), giving the memory baseline the BENCH block and
+   CI gate compare against. *)
+
+type stream_report = {
+  sr_streaming : bool;
+  sr_injected : int;
+  sr_completed : int;
+  sr_events : int;
+  sr_elapsed_s : float;
+  sr_peak_heap_words : int; (* running max of Gc heap_words during the run *)
+  sr_overall : Metrics.fct_stats;
+  sr_table : Metrics.fct_stats list;
+  sr_sketches : Metrics.fct_sketches option;
+}
+
+let run_stream ?(scheme = Scheme.Bfc Scheme.bfc_default) ?(seed = 7) ?(alpha = 0.01) ?flowlog
+    ?(progress = false) ~streaming ~flows:n_flows () =
+  if n_flows <= 0 then invalid_arg "Exp_common.run_stream: flows must be positive";
+  let wall0 = Bfc_util.Clock.now_s () in
+  let sim = Sim.create () in
+  let cl = Topology.clos sim ~spines:4 ~tors:4 ~hosts_per_tor:8 ~gbps:100.0 ~prop:(Time.us 1.0) in
+  let params = { Runner.default_params with seed; streaming } in
+  let env = Runner.setup ~topo:cl.Topology.t ~scheme ~params in
+  let hosts = cl.Topology.cl_hosts in
+  let n_hosts = Array.length hosts in
+  let size = params.Runner.mtu in
+  (* single-MTU flows at ~30% aggregate host load: flows per ns *)
+  let load = 0.3 in
+  let bytes_per_ns = float_of_int n_hosts *. 12.5 *. load in
+  let delta_ns = float_of_int size /. bytes_per_ns in
+  let arrival_of k = 1 + int_of_float (float_of_int k *. delta_ns) in
+  let horizon = arrival_of n_flows + 1 in
+  let rng = Bfc_util.Rng.create seed in
+  let next = ref 0 in
+  (* generate and inject every flow arriving before [t_end]; called from a
+     window ticker, so at most a window's worth of new records exists at a
+     time and completed ones are garbage as soon as their grace passes *)
+  let gen_until t_end =
+    let batch = ref [] in
+    while !next < n_flows && arrival_of !next < t_end do
+      let src = hosts.(Bfc_util.Rng.int rng n_hosts) in
+      let dst = ref src in
+      while !dst = src do
+        dst := hosts.(Bfc_util.Rng.int rng n_hosts)
+      done;
+      batch :=
+        Bfc_net.Flow.make ~id:!next ~src ~dst:!dst ~size ~arrival:(arrival_of !next) ()
+        :: !batch;
+      incr next
+    done;
+    if !batch <> [] then Runner.inject env (List.rev !batch)
+  in
+  let window = Time.us 50.0 in
+  gen_until (2 * window);
+  ignore (Sim.every sim ~period:window (fun () -> gen_until (Sim.now sim + (2 * window))));
+  let sketches = if streaming then Some (Metrics.sketches_create ~alpha ~since:0 ()) else None in
+  let kept = ref [] in
+  let flog =
+    Option.map
+      (fun path ->
+        let oc = open_out_bin path in
+        (oc, Bfc_obs.Flowlog.Writer.create oc))
+      flowlog
+  in
+  let grace = 4 * Runner.base_rtt env in
+  Runner.iter_hosts env (fun h ->
+      Bfc_transport.Host.add_on_complete h (fun f ->
+          (match sketches with
+          | Some sk -> Metrics.sketches_observe env sk f
+          | None -> kept := f :: !kept);
+          (match flog with
+          | Some (_, w) -> Bfc_obs.Flowlog.Writer.append w (flow_record env f)
+          | None -> ());
+          if streaming then begin
+            let fid = f.Bfc_net.Flow.id and src = f.Bfc_net.Flow.src and dst = f.Bfc_net.Flow.dst in
+            ignore
+              (Sim.after sim grace (fun () ->
+                   Bfc_transport.Host.reclaim_flow_state (Runner.host env src) ~flow_id:fid;
+                   Bfc_transport.Host.reclaim_flow_state (Runner.host env dst) ~flow_id:fid))
+          end));
+  let peak = ref (Gc.quick_stat ()).Gc.heap_words in
+  ignore
+    (Sim.every sim ~period:(Time.us 20.0) (fun () ->
+         let hw = (Gc.quick_stat ()).Gc.heap_words in
+         if hw > !peak then peak := hw));
+  if progress then
+    Telemetry.progress_reporter
+      ?sketch_buckets:(Option.map (fun sk () -> Metrics.sketches_buckets sk) sketches)
+      env stderr;
+  Runner.run env ~until:horizon;
+  Runner.drain env ~budget:(50 * Runner.base_rtt env);
+  (match flog with
+  | Some (oc, w) ->
+    Bfc_obs.Flowlog.Writer.close w;
+    close_out_noerr oc
+  | None -> ());
+  let hw = (Gc.quick_stat ()).Gc.heap_words in
+  if hw > !peak then peak := hw;
+  let overall, table =
+    match sketches with
+    | Some sk -> (Metrics.fct_overall_of_sketches sk, Metrics.fct_table_of_sketches sk)
+    | None ->
+      let flows = List.rev !kept in
+      (Metrics.fct_overall env flows, Metrics.fct_table env flows)
+  in
+  {
+    sr_streaming = streaming;
+    sr_injected = Runner.injected env;
+    sr_completed = Runner.completed env;
+    sr_events = Runner.events_executed env;
+    sr_elapsed_s = Bfc_util.Clock.elapsed_s ~since:wall0;
+    sr_peak_heap_words = !peak;
+    sr_overall = overall;
+    sr_table = table;
+    sr_sketches = sketches;
+  }

@@ -31,6 +31,20 @@ type incast_mix = {
 
 val default_incast : incast_mix
 
+(** {2 Ambient streaming-observability settings}
+
+    Set once by the CLI before experiments run (same ambient-default
+    pattern as {!Pdes.set_default_shards}). When enabled, standard runs
+    build their params with [Runner.streaming = true]: FCT stats flow
+    through mergeable quantile sketches ([alpha] relative error), the run
+    optionally dumps a binary {!Bfc_obs.Flowlog} of completed flows to
+    [flowlog], and [progress] prints a live one-line report per sim-ms to
+    stderr. *)
+
+val set_streaming : ?alpha:float -> ?flowlog:string -> ?progress:bool -> bool -> unit
+
+val streaming_on : unit -> bool
+
 (** One standard Clos experiment (the Fig. 9/10/11 machinery). *)
 type std_setup = {
   sp_profile : profile;
@@ -59,6 +73,10 @@ type std_result = {
   buffers : Bfc_util.Stats.Sample.t;
   active : Bfc_util.Stats.Sample.t option;
   measure_from : Bfc_engine.Time.t; (** warmup cutoff for FCT stats *)
+  sketches : Metrics.fct_sketches option;
+      (** present iff the run streamed; {!fct_rows} then reports from the
+          sketches. Sharded runs hold the exact merge of the per-shard
+          sketches, identical to a sequential streaming run's. *)
 }
 
 (** Execute the standard run. With {!Pdes.default_shards}[ () > 1] the
@@ -97,3 +115,38 @@ val fct_rows : std_result -> string list list
 
 (** p99 (bytes) of the buffer occupancy samples. *)
 val buffer_p99 : std_result -> float
+
+(** {2 Memory-scale streaming driver}
+
+    Pushes [flows] single-MTU flows (millions) through a Quick-scale Clos,
+    generating arrivals in sliding windows so the full flow list is never
+    materialised. With [streaming:true], completions feed quantile sketches
+    (and optionally a binary flowlog), and per-flow transport state is
+    reclaimed a few RTTs after completion — resident memory tracks flows in
+    flight, not flows ever run. With [streaming:false], every flow record
+    and exact slowdown sample is retained, as the standard path would:
+    the memory baseline for the BENCH block and CI gate. *)
+
+type stream_report = {
+  sr_streaming : bool;
+  sr_injected : int;
+  sr_completed : int;
+  sr_events : int;
+  sr_elapsed_s : float; (** wall-clock seconds for the whole run *)
+  sr_peak_heap_words : int;
+      (** running max of [Gc.heap_words], sampled every 20 sim-us *)
+  sr_overall : Metrics.fct_stats;
+  sr_table : Metrics.fct_stats list;
+  sr_sketches : Metrics.fct_sketches option;
+}
+
+val run_stream :
+  ?scheme:Scheme.t ->
+  ?seed:int ->
+  ?alpha:float ->
+  ?flowlog:string ->
+  ?progress:bool ->
+  streaming:bool ->
+  flows:int ->
+  unit ->
+  stream_report

@@ -60,6 +60,97 @@ let fct_overall env flows =
   List.iter (fun f -> if Flow.complete f then Sample.add s (Runner.slowdown env f)) flows;
   stats_of ~bucket:"all" ~lo:0 s
 
+(* ------------------------------------------------------------------ *)
+(* Sketch-backed FCT statistics (streaming runs): instead of retaining a
+   slowdown sample per flow, completions feed mergeable quantile sketches —
+   one overall, one per size bucket — so memory is O(buckets) however many
+   flows complete. Per-shard sketches merge exactly (Sketch.merge is
+   associative), so sharded and sequential streaming runs produce
+   byte-identical tables. *)
+
+module Sketch = Bfc_obs.Sketch
+
+type fct_sketches = {
+  fs_alpha : float; (* relative-error bound the sketches were created with *)
+  fs_since : Bfc_engine.Time.t;
+  fs_overall : Sketch.t; (* every completed flow, incast included *)
+  fs_buckets : Sketch.t array; (* non-incast, arrival >= since, by size *)
+}
+
+let n_size_buckets = List.length size_buckets
+
+let sketches_create ?(alpha = 0.01) ?(since = 0) () =
+  {
+    fs_alpha = alpha;
+    fs_since = since;
+    fs_overall = Sketch.create ~alpha ();
+    fs_buckets = Array.init n_size_buckets (fun _ -> Sketch.create ~alpha ());
+  }
+
+let bucket_index =
+  let arr = Array.of_list size_buckets in
+  fun size ->
+    let rec go i =
+      if i >= Array.length arr then -1
+      else begin
+        let _, lo, hi = arr.(i) in
+        if size >= lo && size < hi then i else go (i + 1)
+      end
+    in
+    go 0
+
+(* Feed one completed flow. Mirrors the eligibility rules of [fct_overall]
+   (all completed flows) and [fct_table] (non-incast, arrival >= since). *)
+let sketches_observe env sk f =
+  let v = Runner.slowdown env f in
+  Sketch.add sk.fs_overall v;
+  if (not f.Flow.is_incast) && f.Flow.arrival >= sk.fs_since then begin
+    let i = bucket_index f.Flow.size in
+    if i >= 0 then Sketch.add sk.fs_buckets.(i) v
+  end
+
+let sketches_merge ~into src =
+  if Array.length into.fs_buckets <> Array.length src.fs_buckets then
+    invalid_arg "Metrics.sketches_merge: mismatched bucket sets";
+  Sketch.merge ~into:into.fs_overall src.fs_overall;
+  Array.iteri (fun i s -> Sketch.merge ~into:into.fs_buckets.(i) s) src.fs_buckets
+
+let stats_of_sketch ~bucket ~lo sk =
+  if Sketch.is_empty sk then { bucket; lo; count = 0; avg = nan; p50 = nan; p95 = nan; p99 = nan }
+  else
+    {
+      bucket;
+      lo;
+      count = Sketch.count sk;
+      avg = Sketch.mean sk;
+      p50 = Sketch.percentile sk 50.0;
+      p95 = Sketch.percentile sk 95.0;
+      p99 = Sketch.percentile sk 99.0;
+    }
+
+let fct_table_of_sketches sk =
+  List.mapi
+    (fun i (bucket, lo, _) -> stats_of_sketch ~bucket ~lo sk.fs_buckets.(i))
+    size_buckets
+
+let fct_overall_of_sketches sk = stats_of_sketch ~bucket:"all" ~lo:0 sk.fs_overall
+
+(* Total nonzero buckets across all sketches (progress reporting). *)
+let sketches_buckets sk =
+  Array.fold_left
+    (fun a s -> a + Sketch.bucket_count s)
+    (Sketch.bucket_count sk.fs_overall)
+    sk.fs_buckets
+
+let sketches_alpha sk = sk.fs_alpha
+
+(* Concatenated canonical encodings (overall first, then each size bucket):
+   equal strings iff the sketch states are identical, whatever merge order
+   produced them — the sharded-vs-sequential differential gate. *)
+let sketches_encode sk =
+  String.concat ""
+    (Sketch.encode sk.fs_overall :: Array.to_list (Array.map Sketch.encode sk.fs_buckets))
+
 let short_p99 env ?(since = 0) flows =
   let s = Sample.create () in
   List.iter

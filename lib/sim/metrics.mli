@@ -29,6 +29,46 @@ val fct_table :
 val fct_overall :
   Runner.env -> Bfc_net.Flow.t list -> fct_stats
 
+(** {2 Sketch-backed FCT statistics (streaming runs)}
+
+    Completions feed mergeable quantile sketches — one overall, one per
+    size bucket — so FCT stats cost O(buckets) memory however many flows
+    complete, at a bounded relative error ([alpha], default 1%) on the
+    percentile columns. Per-shard sketches merge exactly, so sharded and
+    sequential streaming runs produce identical tables. *)
+
+type fct_sketches
+
+(** [since] mirrors [fct_table]'s warm-up cutoff for the per-size-bucket
+    sketches (the overall sketch sees every completed flow, incast
+    included, like {!fct_overall}). *)
+val sketches_create : ?alpha:float -> ?since:Bfc_engine.Time.t -> unit -> fct_sketches
+
+(** Feed one completed flow's slowdown. *)
+val sketches_observe : Runner.env -> fct_sketches -> Bfc_net.Flow.t -> unit
+
+(** Exact merge (associative, commutative) of per-shard sketches. *)
+val sketches_merge : into:fct_sketches -> fct_sketches -> unit
+
+(** Same rows as {!fct_table} / {!fct_overall}, estimated from sketches:
+    counts exact, avg/percentiles within the sketches' relative-error
+    bound. *)
+val fct_table_of_sketches : fct_sketches -> fct_stats list
+
+val fct_overall_of_sketches : fct_sketches -> fct_stats
+
+(** Total nonzero buckets held across all sketches (progress reporting /
+    memory accounting). *)
+val sketches_buckets : fct_sketches -> int
+
+(** The relative-error bound the sketches were created with. *)
+val sketches_alpha : fct_sketches -> float
+
+(** Concatenated canonical encodings of every sketch: equal strings iff
+    the states are identical, whatever add/merge order produced them
+    (the sharded-vs-sequential byte-identity check). *)
+val sketches_encode : fct_sketches -> string
+
 (** Short flows (< 3 KB) p99 slowdown; NaN if none. *)
 val short_p99 : Runner.env -> ?since:Bfc_engine.Time.t -> Bfc_net.Flow.t list -> float
 

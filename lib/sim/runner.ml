@@ -24,6 +24,7 @@ type params = {
   seed : int;
   homa_dist : Bfc_workload.Dist.t;
   use_ir : bool;
+  streaming : bool;
 }
 
 let default_params =
@@ -41,6 +42,7 @@ let default_params =
     seed = 42;
     homa_dist = Bfc_workload.Dist.google;
     use_ir = false;
+    streaming = false;
   }
 
 type env = {
@@ -82,6 +84,13 @@ let host env i =
   match env.hosts.(i) with
   | Some h -> h
   | None -> invalid_arg (Printf.sprintf "Runner.host: node %d is not a host" i)
+
+let iter_hosts env f =
+  Array.iter
+    (function
+      | Some h -> f h
+      | None -> ())
+    env.hosts
 
 let injected env = env.injected
 

@@ -28,6 +28,12 @@ type params = {
           build, validate and compile it per switch (Bfc_ir.Compile)
           instead of installing the hand-written hooks. Behavior is
           byte-identical (held to that by the differential test). *)
+  streaming : bool;
+      (** bounded-memory observability: FCT statistics go through mergeable
+          quantile sketches instead of exact per-flow samples, hosts
+          reclaim per-flow transport state after completion, and flow
+          records can stream to a binary flowlog. Simulation behavior is
+          unchanged — only what is retained about it. *)
 }
 
 val default_params : params
@@ -76,6 +82,10 @@ val dataplanes : env -> Bfc_core.Dataplane.t array
 val ir_programs : env -> Bfc_ir.Compile.t array
 
 val host : env -> int -> Bfc_transport.Host.t
+
+(** Apply [f] to every host this environment instantiated (a shard's own
+    hosts only, in a sharded run). *)
+val iter_hosts : env -> (Bfc_transport.Host.t -> unit) -> unit
 
 (** Schedule [Host.start_flow] at each flow's arrival time. *)
 val inject : env -> Bfc_net.Flow.t list -> unit

@@ -162,7 +162,16 @@ let wire_gauges t env =
   let sim = Runner.sim env in
   g "heap_live" (fun () -> float_of_int (Sim.profile sim).Sim.p_live);
   g "heap_hwm" (fun () -> float_of_int (Sim.profile sim).Sim.p_heap_hwm);
-  g "events_executed" (fun () -> float_of_int (Runner.events_executed env))
+  g "events_executed" (fun () -> float_of_int (Runner.events_executed env));
+  (* Process-level GC/heap residency: lets long runs watch for metric-side
+     memory growth (the point of streaming mode) from the same series as
+     the simulation gauges. quick_stat is cheap and exact for these
+     fields. *)
+  g "gc_heap_words" (fun () -> float_of_int (Gc.quick_stat ()).Gc.heap_words);
+  g "gc_top_heap_words" (fun () -> float_of_int (Gc.quick_stat ()).Gc.top_heap_words);
+  g "gc_minor_collections" (fun () -> float_of_int (Gc.quick_stat ()).Gc.minor_collections);
+  g "gc_major_collections" (fun () -> float_of_int (Gc.quick_stat ()).Gc.major_collections);
+  g "gc_major_words" (fun () -> (Gc.quick_stat ()).Gc.major_words)
 
 let attach ?(config = default_config) env =
   let reg = Registry.create ~enabled:config.t_enabled () in
@@ -197,6 +206,37 @@ let attach ?(config = default_config) env =
     in
     { t with ser }
   end
+
+(* ------------------------------------------------------------------ *)
+(* Live progress: one line per sim-time period so long streaming runs are
+   observable from a terminal while they execute. Wall time comes from the
+   sanctioned Bfc_util.Clock; events/sec is measured over the interval
+   since the previous report. *)
+
+let progress_reporter ?(period = Time.ms 1.0) ?sketch_buckets env oc =
+  let sim = Runner.sim env in
+  let last_wall = ref (Bfc_util.Clock.now_s ()) in
+  let last_events = ref (Runner.events_executed env) in
+  ignore
+    (Sim.every sim ~period (fun () ->
+         let wall = Bfc_util.Clock.now_s () in
+         let events = Runner.events_executed env in
+         let dt = wall -. !last_wall in
+         let eps =
+           if dt > 0.0 then float_of_int (events - !last_events) /. dt /. 1e6 else 0.0
+         in
+         last_wall := wall;
+         last_events := events;
+         let heap_mw = float_of_int (Gc.quick_stat ()).Gc.heap_words /. 1e6 in
+         let sk =
+           match sketch_buckets with
+           | Some f -> Printf.sprintf " sketch_buckets=%d" (f ())
+           | None -> ""
+         in
+         Printf.fprintf oc
+           "progress: t=%.3fms events=%d (%.2fM ev/s) flows=%d/%d%s major_heap=%.1fMw\n%!"
+           (float_of_int (Sim.now sim) /. 1e6)
+           events eps (Runner.completed env) (Runner.injected env) sk heap_mw))
 
 (* ------------------------------------------------------------------ *)
 (* Export *)

@@ -120,6 +120,24 @@ let config t = t.cfg
 
 let on_complete t f = t.complete_cb <- f
 
+(* Chain instead of replace, so several observers (run driver, sketches,
+   flowlog writer) can all see completions. bfc-lint: control-plane *)
+let add_on_complete t f =
+  let prev = t.complete_cb in
+  t.complete_cb <-
+    (fun flow ->
+      prev flow;
+      f flow)
+
+(* Drop per-flow sender/receiver state once a flow is fully done with it
+   (streaming runs reclaim after a grace period, so per-flow memory stays
+   bounded by the number of in-flight flows instead of growing with every
+   flow ever started). Packets for an unknown flow id are already ignored
+   on every lookup path, so late stragglers are harmless. *)
+let reclaim_flow_state t ~flow_id =
+  Bfc_util.Int_table.remove t.txs flow_id;
+  Bfc_util.Int_table.remove t.rxs flow_id
+
 let bytes_sent t = t.bytes_sent
 
 let bytes_retransmitted t = t.bytes_retransmitted

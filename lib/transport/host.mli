@@ -66,8 +66,19 @@ val nic : t -> Nic.t
 val config : t -> config
 
 (** Register the completion callback (fires at the receiving host when the
-    flow's last byte arrives). *)
+    flow's last byte arrives). Replaces any previous callback. *)
 val on_complete : t -> (Bfc_net.Flow.t -> unit) -> unit
+
+(** Add a completion observer without displacing the existing one (the new
+    observer runs after it). Streaming runs chain sketch updates and
+    flow-trace writes onto the driver's completion counter this way. *)
+val add_on_complete : t -> (Bfc_net.Flow.t -> unit) -> unit
+
+(** Forget all per-flow sender/receiver state for [flow_id] on this host.
+    Safe once the flow is complete and its last control packets have
+    drained (packets for unknown flow ids are ignored); lets long streaming
+    runs keep per-flow memory proportional to in-flight flows only. *)
+val reclaim_flow_state : t -> flow_id:int -> unit
 
 (** Begin transmitting a flow whose [src] is this host. *)
 val start_flow : t -> Bfc_net.Flow.t -> unit

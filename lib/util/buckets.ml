@@ -1,0 +1,38 @@
+(* One binary search serving both fixed-bucket histogram flavours in the
+   tree (Bfc_util.Histogram's clamped log bins and Bfc_obs.Registry's
+   overflow-bucket histograms). The two public APIs differ only in how
+   they treat the out-of-range ends, so both are thin wrappers over
+   [upper_index]. *)
+
+let check ~edges =
+  let n = Array.length edges in
+  if n = 0 then invalid_arg "Buckets.check: empty edges";
+  for i = 1 to n - 1 do
+    if not (edges.(i) > edges.(i - 1)) then
+      invalid_arg "Buckets.check: edges must be strictly ascending"
+  done
+
+let upper_index ~edges v =
+  let n = Array.length edges in
+  if v < edges.(0) then 0
+  else if v >= edges.(n - 1) then n
+  else begin
+    (* invariant: v >= edges.(!lo), v < edges.(!hi) *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if v >= edges.(mid) then lo := mid else hi := mid
+    done;
+    !hi
+  end
+
+let clamped_bin ~edges v =
+  let bins = Array.length edges - 1 in
+  let i = upper_index ~edges v - 1 in
+  if i < 0 then 0 else if i >= bins then bins - 1 else i
+
+let log_edges ~lo ~hi ~bins =
+  if lo <= 0.0 || hi <= lo || bins <= 0 then invalid_arg "Buckets.log_edges";
+  Array.init (bins + 1) (fun i ->
+      let frac = float_of_int i /. float_of_int bins in
+      lo *. exp (frac *. log (hi /. lo)))

@@ -1,32 +1,22 @@
+(* Edge construction and bin lookup live in Buckets (shared with the
+   Registry histograms in lib/obs); this module keeps the clamped
+   log-spaced flavour. *)
+
 type t = { edges : float array; counts : int array; mutable total : int }
 
 let create ~lo ~hi ~bins =
-  if lo <= 0.0 || hi <= lo || bins <= 0 then invalid_arg "Histogram.create";
   let edges =
-    Array.init (bins + 1) (fun i ->
-        let frac = float_of_int i /. float_of_int bins in
-        lo *. exp (frac *. log (hi /. lo)))
+    try Buckets.log_edges ~lo ~hi ~bins with Invalid_argument _ -> invalid_arg "Histogram.create"
   in
   { edges; counts = Array.make bins 0; total = 0 }
 
 let bins t = Array.length t.counts
 
-let bin_of t v =
-  let n = bins t in
-  if v <= t.edges.(0) then 0
-  else if v >= t.edges.(n) then n - 1
-  else begin
-    (* binary search for the bin whose [edge_i, edge_{i+1}) contains v *)
-    let lo = ref 0 and hi = ref n in
-    while !hi - !lo > 1 do
-      let mid = (!lo + !hi) / 2 in
-      if v >= t.edges.(mid) then lo := mid else hi := mid
-    done;
-    !lo
-  end
+let bin_of t v = Buckets.clamped_bin ~edges:t.edges v
 
 let add t v =
-  t.counts.(bin_of t v) <- t.counts.(bin_of t v) + 1;
+  let b = bin_of t v in
+  t.counts.(b) <- t.counts.(b) + 1;
   t.total <- t.total + 1
 
 let count t = t.total

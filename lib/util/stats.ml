@@ -2,10 +2,17 @@ module Sample = struct
   type t = {
     mutable data : float array;
     mutable size : int;
-    mutable sorted : float array option; (* cache invalidated by add *)
+    mutable dirty : bool; (* values added since the last in-place sort *)
+    (* Order-sensitive aggregates are maintained at [add] time, in
+       insertion order, so quantile queries (which sort [data] in place
+       and therefore lose the insertion order) cannot change them. *)
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
   }
 
-  let create () = { data = [||]; size = 0; sorted = None }
+  let create () =
+    { data = [||]; size = 0; dirty = false; sum = 0.0; min_v = nan; max_v = nan }
 
   let add t x =
     let cap = Array.length t.data in
@@ -17,46 +24,75 @@ module Sample = struct
     end;
     t.data.(t.size) <- x;
     t.size <- t.size + 1;
-    t.sorted <- None
+    t.dirty <- true;
+    t.sum <- t.sum +. x;
+    (* Float.compare, not (<): totally ordered on NaN (NaN sorts below
+       every number), so min/max agree with the sorted view's ends. *)
+    if t.size = 1 || Float.compare x t.min_v < 0 then t.min_v <- x;
+    if t.size = 1 || Float.compare x t.max_v > 0 then t.max_v <- x
 
   let count t = t.size
 
   let is_empty t = t.size = 0
 
-  let sorted t =
-    match t.sorted with
-    | Some s -> s
-    | None ->
-      let s = Array.sub t.data 0 t.size in
-      (* Float.compare, not polymorphic compare: monomorphic (no boxing
-         dispatch per comparison) and totally ordered on NaN, so a stray
-         NaN sample cannot corrupt the sort order the percentile lookups
-         rely on. *)
-      Array.sort Float.compare s;
-      t.sorted <- Some s;
-      s
+  (* In-place heapsort of the live prefix [0, n): zero allocation, so the
+     exact quantile path peaks at one copy of the data instead of the two
+     the old full-copy sorted cache needed. Float.compare, not (<):
+     monomorphic (no boxing dispatch per comparison) and totally ordered
+     on NaN, so a stray NaN sample cannot corrupt the sort order the
+     percentile lookups rely on (NaN sorts below every number). *)
+  let sift_down a n root =
+    let i = ref root and live = ref true in
+    while !live do
+      let l = (2 * !i) + 1 in
+      if l >= n then live := false
+      else begin
+        let c = if l + 1 < n && Float.compare a.(l + 1) a.(l) > 0 then l + 1 else l in
+        if Float.compare a.(c) a.(!i) > 0 then begin
+          let tmp = a.(c) in
+          a.(c) <- a.(!i);
+          a.(!i) <- tmp;
+          i := c
+        end
+        else live := false
+      end
+    done
 
-  let sum t =
-    let acc = ref 0.0 in
-    for i = 0 to t.size - 1 do
-      acc := !acc +. t.data.(i)
+  let sort_prefix a n =
+    for root = (n / 2) - 1 downto 0 do
+      sift_down a n root
     done;
-    !acc
+    for last = n - 1 downto 1 do
+      let tmp = a.(last) in
+      a.(last) <- a.(0);
+      a.(0) <- tmp;
+      sift_down a last 0
+    done
 
-  let mean t = if t.size = 0 then nan else sum t /. float_of_int t.size
+  let ensure_sorted t =
+    if t.dirty then begin
+      sort_prefix t.data t.size;
+      t.dirty <- false
+    end
 
-  let min t =
-    let s = sorted t in
-    if Array.length s = 0 then nan else s.(0)
+  let sorted t =
+    ensure_sorted t;
+    Array.sub t.data 0 t.size
 
-  let max t =
-    let s = sorted t in
-    let n = Array.length s in
-    if n = 0 then nan else s.(n - 1)
+  let sum t = t.sum
+
+  let mean t = if t.size = 0 then nan else t.sum /. float_of_int t.size
+
+  let min t = t.min_v
+
+  let max t = t.max_v
 
   let stddev t =
     if t.size < 2 then 0.0
     else begin
+      (* Accumulate in ascending (sorted) order: a canonical order, so the
+         float result does not depend on how observations interleaved. *)
+      ensure_sorted t;
       let m = mean t in
       let acc = ref 0.0 in
       for i = 0 to t.size - 1 do
@@ -69,27 +105,27 @@ module Sample = struct
   let percentile t p =
     if t.size = 0 then invalid_arg "Stats.Sample.percentile: empty sample";
     if p < 0.0 || p > 100.0 then invalid_arg "Stats.Sample.percentile: p out of range";
-    let s = sorted t in
-    let n = Array.length s in
-    if n = 1 then s.(0)
+    ensure_sorted t;
+    let n = t.size in
+    if n = 1 then t.data.(0)
     else begin
       let rank = p /. 100.0 *. float_of_int (n - 1) in
       let lo = int_of_float (Float.floor rank) in
       let hi = Stdlib.min (lo + 1) (n - 1) in
       let frac = rank -. float_of_int lo in
-      s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
+      t.data.(lo) +. (frac *. (t.data.(hi) -. t.data.(lo)))
     end
 
   let cdf t ~points =
-    let s = sorted t in
-    let n = Array.length s in
-    if n = 0 then []
+    if t.size = 0 then []
     else begin
+      ensure_sorted t;
+      let n = t.size in
       let pts = Stdlib.max 2 points in
       List.init pts (fun i ->
           let frac = float_of_int i /. float_of_int (pts - 1) in
           let idx = Stdlib.min (n - 1) (int_of_float (frac *. float_of_int (n - 1))) in
-          (s.(idx), float_of_int (idx + 1) /. float_of_int n))
+          (t.data.(idx), float_of_int (idx + 1) /. float_of_int n))
     end
 
   let iter f t =
@@ -97,16 +133,20 @@ module Sample = struct
       f t.data.(i)
     done
 
-  (* Append [src] in its insertion order so a merged sample is
-     indistinguishable from one built by a single accumulator that saw
-     the same observations in the same sequence — order matters for the
-     (order-sensitive) float [sum]/[mean]. *)
+  (* Append [src] in its current storage order (insertion order, unless a
+     quantile query has already sorted [src] in place) so a merged sample
+     reproduces a single accumulator that saw the same sequence — order
+     matters for the (order-sensitive) float [sum]. In-tree callers merge
+     before querying, so the order is the insertion order in practice. *)
   let append ~into src = iter (add into) src
 
   let clear t =
     t.data <- [||];
     t.size <- 0;
-    t.sorted <- None
+    t.dirty <- false;
+    t.sum <- 0.0;
+    t.min_v <- nan;
+    t.max_v <- nan
 end
 
 module Running = struct

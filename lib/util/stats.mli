@@ -1,7 +1,19 @@
 (** Collection and summarisation of samples (FCTs, queue depths, delays).
 
     [Sample] accumulates float observations and answers percentile / mean
-    queries exactly (sorting on demand, caching the sorted view).
+    queries exactly. Quantile queries sort the backing array {e in place}
+    (flagging it clean until the next [add]) rather than caching a sorted
+    copy, so the exact path holds one copy of the data, not two.
+
+    {b NaN ordering guarantee.} All ordering inside [Sample] uses
+    [Float.compare], a total order in which every NaN compares equal to
+    itself and {e below} every real number (and [-0.] below [0.]). So a
+    stray NaN observation cannot poison the sort: NaNs collect at the front
+    of {!sorted}, {!min} reports [nan] iff a NaN was added, {!max} still
+    reports the largest real number, and low percentiles degrade to [nan]
+    in proportion to how many NaNs were added instead of scrambling the
+    whole order (as [(<)]-based sorting would).
+
     [Running] is a constant-memory mean/variance accumulator. *)
 
 module Sample : sig
@@ -15,35 +27,50 @@ module Sample : sig
 
   val is_empty : t -> bool
 
+  (** [sum /. count]; maintained incrementally in insertion order, so the
+      float result is unaffected by the in-place sorting of queries. *)
   val mean : t -> float
 
+  (** Smallest value in [Float.compare] order — [nan] iff a NaN was ever
+      added (NaN sorts below every number), [nan] also when empty. *)
   val min : t -> float
 
+  (** Largest value in [Float.compare] order — ignores NaNs unless the
+      sample is all-NaN; [nan] when empty. *)
   val max : t -> float
 
+  (** Running sum in insertion order. *)
   val sum : t -> float
 
+  (** Sample standard deviation (n-1). Accumulated in ascending (sorted)
+      order — a canonical order, so the float result does not depend on how
+      observations interleaved. *)
   val stddev : t -> float
 
   (** [percentile t p] with [p] in [0,100]; nearest-rank with linear
-      interpolation. Raises [Invalid_argument] if empty or [p] out of
-      range. *)
+      interpolation over the [Float.compare]-sorted values. Raises
+      [Invalid_argument] if empty or [p] out of range. *)
   val percentile : t -> float -> float
 
   (** [cdf t ~points] returns [(value, cumulative_fraction)] pairs at
       [points] evenly spaced ranks, suitable for plotting a CDF. *)
   val cdf : t -> points:int -> (float * float) list
 
-  (** All values, sorted ascending (a copy). *)
+  (** All values, sorted ascending by [Float.compare] (a fresh copy; NaNs
+      first — see the NaN ordering guarantee above). *)
   val sorted : t -> float array
 
-  (** Visit values in insertion order. *)
+  (** Visit values in storage order: insertion order until the first
+      quantile query, sorted order after (queries sort in place). Callers
+      needing a deterministic order should query {!sorted} or only [iter]
+      before the first quantile query. *)
   val iter : (float -> unit) -> t -> unit
 
-  (** [append ~into src] adds every value of [src] to [into], preserving
-      [src]'s insertion order ([sum]/[mean] accumulate in that order, so
-      merged samples reproduce a single accumulator bit-for-bit). Used to
-      merge per-shard buffer samples after a sharded run. *)
+  (** [append ~into src] adds every value of [src] to [into] in [src]'s
+      current storage order (see {!iter}). When both sides are unqueried —
+      the in-tree pattern: per-shard buffer samples are merged before any
+      stats are read — this reproduces a single accumulator's [sum]
+      bit-for-bit. *)
   val append : into:t -> t -> unit
 
   val clear : t -> unit

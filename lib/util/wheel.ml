@@ -99,31 +99,71 @@ let level_for t time =
   done;
   !l
 
-(* Append one entry; [v] seeds the value array on first growth, after
-   which slots are recycled (stale values are overwritten before use). *)
-let bucket_put t b time rank seq v =
+(* [v] seeds the value array on first growth, after which slots are
+   recycled (stale values are overwritten before use). *)
+let bucket_grow t b v =
   let cap = Array.length b.bv in
-  if b.blen = cap then begin
-    let ncap = if cap = 0 then 8 else cap * 2 in
-    t.cap <- t.cap + (ncap - cap);
-    let nt = Array.make ncap 0
-    and nr = Array.make ncap 0
-    and ns = Array.make ncap 0
-    and nv = Array.make ncap v in
-    Array.blit b.bt 0 nt 0 b.blen;
-    Array.blit b.br 0 nr 0 b.blen;
-    Array.blit b.bs 0 ns 0 b.blen;
-    Array.blit b.bv 0 nv 0 b.blen;
-    b.bt <- nt;
-    b.br <- nr;
-    b.bs <- ns;
-    b.bv <- nv
-  end;
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  t.cap <- t.cap + (ncap - cap);
+  let nt = Array.make ncap 0
+  and nr = Array.make ncap 0
+  and ns = Array.make ncap 0
+  and nv = Array.make ncap v in
+  Array.blit b.bt 0 nt 0 b.blen;
+  Array.blit b.br 0 nr 0 b.blen;
+  Array.blit b.bs 0 ns 0 b.blen;
+  Array.blit b.bv 0 nv 0 b.blen;
+  b.bt <- nt;
+  b.br <- nr;
+  b.bs <- ns;
+  b.bv <- nv
+
+(* Append one entry. *)
+let bucket_put t b time rank seq v =
+  if b.blen = Array.length b.bv then bucket_grow t b v;
   Array.unsafe_set b.bt b.blen time;
   Array.unsafe_set b.br b.blen rank;
   Array.unsafe_set b.bs b.blen seq;
   Array.unsafe_set b.bv b.blen v;
   b.blen <- b.blen + 1
+
+(* Drop dead entries from a bucket in place, preserving relative order —
+   the same purge a cascade performs, applied early. Freed tail slots
+   keep duplicate value refs (the owner scrubs payloads it cares about:
+   Sim drops a handle's closure on cancel and after firing). *)
+let bucket_compact t b =
+  let w = ref 0 in
+  for k = 0 to b.blen - 1 do
+    let v = Array.unsafe_get b.bv k in
+    if t.garbage v then t.size <- t.size - 1
+    else begin
+      if !w < k then begin
+        Array.unsafe_set b.bt !w (Array.unsafe_get b.bt k);
+        Array.unsafe_set b.br !w (Array.unsafe_get b.br k);
+        Array.unsafe_set b.bs !w (Array.unsafe_get b.bs k);
+        Array.unsafe_set b.bv !w v
+      end;
+      incr w
+    end
+  done;
+  b.blen <- !w
+
+(* Append, shedding tombstones under growth pressure: a full bucket is
+   compacted before it is allowed to double, so far-future buckets that
+   no cascade reaches within a run (cancelled retransmit timers pile up
+   there) stay sized to their live population instead of growing with
+   the total event count. If compaction frees less than a quarter of the
+   bucket, grow anyway so pushes stay amortized O(1). Only safe where no
+   in-bucket position is held across the call — the cursor bucket
+   ([bucket_insert_sorted] fences on [ci]) and [push_late] (its insert
+   position is computed before the append) must use plain [bucket_put]. *)
+let bucket_put_pressure t b time rank seq v =
+  let cap = Array.length b.bv in
+  if b.blen = cap && cap > 0 then begin
+    bucket_compact t b;
+    if b.blen >= cap - (cap / 4) then bucket_grow t b v
+  end;
+  bucket_put t b time rank seq v
 
 (* Sorted insert for pushes at or below the cursor: walk the fresh tail
    entry left to its (time, rank, seq) slot. [from] fences off already-
@@ -174,7 +214,7 @@ let push t ?(rank = 0) ~priority:time value =
   else begin
     let l = level_for t time in
     let b = Array.unsafe_get (Array.unsafe_get t.lv l) ((time lsr (l * bits)) land bmask) in
-    bucket_put t b time rank seq value;
+    bucket_put_pressure t b time rank seq value;
     (* Insertion-sort the fresh tail entry left past larger ranks. With
        fully monotone ranks this loop runs zero iterations (one compare);
        it exists for the bounded disorder the simulator produces — pushes
@@ -250,6 +290,14 @@ let push_late t ~priority:time ~rank value =
       Array.unsafe_set b.bv p value
   end
 
+(* A bucket that grew past this many slots has its arrays released after
+   it cascades instead of being kept for reuse: high-level buckets are
+   revisited only after a full wrap of their level (65 ms at level 2), so
+   a burst-grown array would otherwise sit idle — with stale value refs
+   in its tail — for the rest of the run. Hot low-level buckets stay far
+   below the threshold and keep their arrays. *)
+let shrink_threshold = 1024
+
 (* Re-deal a cascading bucket into the levels below; dead entries are
    purged here instead of travelling further down the hierarchy. Source
    order is preserved, which keeps same-deadline runs in (rank, seq)
@@ -264,9 +312,16 @@ let redistribute t src =
       let time = Array.unsafe_get src.bt k in
       let l = level_for t time in
       let b = Array.unsafe_get (Array.unsafe_get t.lv l) ((time lsr (l * bits)) land bmask) in
-      bucket_put t b time (Array.unsafe_get src.br k) (Array.unsafe_get src.bs k) v
+      bucket_put_pressure t b time (Array.unsafe_get src.br k) (Array.unsafe_get src.bs k) v
     end
-  done
+  done;
+  if Array.length src.bv > shrink_threshold then begin
+    t.cap <- t.cap - Array.length src.bv;
+    src.bt <- [||];
+    src.br <- [||];
+    src.bs <- [||];
+    src.bv <- [||]
+  end
 
 (* Position the cursor on the next resident entry. Returns false when
    the wheel drained (possibly because a cascade purged the remaining

@@ -20,4 +20,5 @@ let () =
       ("perf", Test_perf.suite);
       ("obs", Test_obs.suite);
       ("pdes", Test_pdes.suite);
+      ("stream", Test_stream.suite);
     ]
