@@ -159,15 +159,24 @@ let with_sched sched f =
 let sched_name = function Sim.Heap -> "heap" | Sim.Wheel -> "wheel"
 
 (* One timed run of the reference workload under [sched]; returns
-   (json fragment, events, seconds, result). *)
+   (json fragment, events, seconds, result). Minor-heap allocation is
+   measured around the whole run ([Gc.quick_stat] deltas) and reported
+   per executed event — the figure the typed closure-free dispatch is
+   meant to drive toward zero on the steady-state path (setup and flow
+   records keep it above zero). *)
 let macro_leg sched =
+  let g0 = Gc.quick_stat () in
   let r, secs = time_run (fun () -> with_sched sched (fun () -> Exp_common.run_std (quick_setup 1))) in
+  let g1 = Gc.quick_stat () in
   let events = Runner.events_executed r.Exp_common.env in
   let eps = float_of_int events /. secs in
-  Printf.printf "  [%-5s] events %d, wall %.2f s, %.0f events/sec\n%!" (sched_name sched) events
-    secs eps;
+  let mwpe = (g1.Gc.minor_words -. g0.Gc.minor_words) /. float_of_int (max 1 events) in
+  Printf.printf "  [%-5s] events %d, wall %.2f s, %.0f events/sec, %.1f minor words/event\n%!"
+    (sched_name sched) events secs eps mwpe;
   let json =
-    Printf.sprintf {|{ "events": %d, "seconds": %.3f, "events_per_sec": %.0f }|} events secs eps
+    Printf.sprintf
+      {|{ "events": %d, "seconds": %.3f, "events_per_sec": %.0f, "minor_words_per_event": %.2f }|}
+      events secs eps mwpe
   in
   (json, events, secs, r)
 
@@ -193,8 +202,8 @@ let run_macro ~jobs () =
   (* engine self-profile of the wheel run: event-class mix, queue
      pressure, handle reuse *)
   let prof = Sim.profile (Runner.sim r.Exp_common.env) in
-  Printf.printf "  event classes         one-shot %d, reusable %d, ticker %d\n"
-    prof.Sim.p_one_shot prof.Sim.p_reusable prof.Sim.p_ticker;
+  Printf.printf "  event classes         typed %d, one-shot %d, reusable %d, ticker %d\n"
+    prof.Sim.p_typed prof.Sim.p_one_shot prof.Sim.p_reusable prof.Sim.p_ticker;
   Printf.printf "  queue high-water      %d (capacity %d)\n" prof.Sim.p_heap_hwm
     prof.Sim.p_heap_capacity;
   Printf.printf "  handle rearms         %d, cancels %d\n%!" prof.Sim.p_rearms prof.Sim.p_cancels;
@@ -309,17 +318,38 @@ let run_pdes () =
         ratio
     else Printf.sprintf {|"speedup": %.2f|} ratio
   in
+  (* burst batching: cross-shard messages vs the ring slots (cursor
+     publications) that carried them *)
+  let sync_json =
+    match !Exp_common.last_pdes_stats with
+    | None -> ""
+    | Some st ->
+      let per_burst = float_of_int st.Exp_common.ps_messages /. float_of_int (max 1 st.Exp_common.ps_bursts) in
+      Printf.printf "  cross-shard traffic   %d messages in %d bursts (%.1f msgs/slot), %d windows, %d stalls\n%!"
+        st.Exp_common.ps_messages st.Exp_common.ps_bursts per_burst st.Exp_common.ps_windows
+        st.Exp_common.ps_stalls;
+      Printf.sprintf
+        {|"messages": %d,
+    "bursts": %d,
+    "messages_per_burst": %.1f,
+    "windows": %d,
+    "stalls": %d,
+    |}
+        st.Exp_common.ps_messages st.Exp_common.ps_bursts per_burst st.Exp_common.ps_windows
+        st.Exp_common.ps_stalls
+  in
   Printf.sprintf
     {|"pdes": {
     "workload": "run_std quick bfc seed=1, sequential vs %d-shard PDES",
     "cores": %d,
     "shards": %d,
     "identical_output": true,
+    "ratio": %.2f,
     "seq": { "events": %d, "seconds": %.3f, "events_per_sec": %.0f },
     "sharded": { "seconds": %.3f, "events_per_sec": %.0f },
-    %s
+    %s%s
   }|}
-    shards cores shards events seq_secs seq_eps sh_secs sh_eps speedup_json
+    shards cores shards ratio events seq_secs seq_eps sh_secs sh_eps sync_json speedup_json
 
 (* ------------------------------------------------------------------ *)
 (* IR benchmark: the same quick reference workload through the hand-written

@@ -72,6 +72,22 @@ let pop t =
     x
   end
 
+(* Consumer-side bulk pop: drain everything currently visible. One
+   acquire per element (via [pop]) keeps the proof obligations identical
+   to the single-pop path; the win is the caller's loop, not the ring.
+   Runs on the coordinator at barriers; bfc-lint: control-plane *)
+let drain t f =
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match pop t with
+    | Some x ->
+      incr n;
+      f x
+    | None -> continue := false
+  done;
+  !n
+
 let pushed t = t.pushed
 
 let popped t = t.popped

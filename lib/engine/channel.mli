@@ -1,11 +1,13 @@
 (** Bounded single-producer/single-consumer channel.
 
     The inter-shard packet conduit of the PDES runtime: each shard owns
-    the producer end, the window coordinator the consumer end. The ring
-    is bounded and lossless — when it fills, {!try_push} reports [false]
-    and the producing shard stalls until the consumer drains, so the
-    simulator behaves like the backpressured pipeline it models; nothing
-    is ever dropped.
+    the producer end, the window coordinator the consumer end. The PDES
+    producer batches its messages into bursts (arrays), so one ring slot
+    — one cursor publication — carries a whole burst rather than a
+    single message. The ring is bounded and lossless — when it fills,
+    {!try_push} reports [false] and the producing shard stalls until the
+    consumer drains, so the simulator behaves like the backpressured
+    pipeline it models; nothing is ever dropped.
 
     Safe for exactly one producer domain and one consumer domain at a
     time (cursor publication uses [Atomic]); the non-atomic statistics
@@ -29,6 +31,13 @@ val try_push : 'a t -> 'a -> bool
 
 (** Consumer only. *)
 val pop : 'a t -> 'a option
+
+(** Consumer only. [drain t f] pops until the ring is empty, calling [f]
+    on each element in FIFO order; returns how many were popped.
+    Elements pushed concurrently during the drain may or may not be
+    seen — the caller's barrier protocol decides when "empty" is
+    final. *)
+val drain : 'a t -> ('a -> unit) -> int
 
 (** Total successful pushes (producer-owned counter). *)
 val pushed : 'a t -> int

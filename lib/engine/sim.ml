@@ -29,13 +29,68 @@
      events with no physical meaning, applied identically everywhere
      so sharded and sequential schedules agree byte-for-byte.
 
-   The only observable divergence is tombstone handling: the heap pops
-   every cancelled entry (a no-op step that still advances the clock),
-   while the wheel purges tombstones that cascade before reaching level
-   0. Purged tombstones can only affect where the clock coasts to after
-   the last live event — never the order or timing of executed events. *)
+   Event representation (the typed event table). A queue entry is a
+   [handle]; its [cls] field selects how it fires:
+
+   - classes 0–2 (closure one-shot / reusable / ticker) carry a
+     [unit -> unit] closure — the original representation, kept for the
+     control plane and as the source-compatible fallback behind
+     [at]/[after]/[make_handle]/[every];
+   - classes 3+ are typed: the handle carries two immediate int args
+     ([a0], [a1]) and fires through a per-class executor registered
+     once per (sim, class) with [register_class]. Typed handles are
+     pooled — [post] pulls one from a free list, firing or purging
+     returns it — so the steady-state hot path (deliveries, watchdogs,
+     RTOs, pacers) allocates nothing per event and dispatches through
+     one direct [match] + array-indexed call to a single shared
+     executor per class, instead of an indirect call to one of
+     thousands of short-lived closures.
+
+   Pooled-handle lifecycle: a slot is on the free list iff no queue
+   entry references it. Cancellation ([cancel_token]) only tombstones —
+   it bumps the handle's generation so the token dies, but the slot is
+   reclaimed at the point the queue disposes of the entry: a pop (heap
+   tombstones, wheel tombstones that reach level 0) or the wheel's
+   garbage purge (the [release] hook). Reclaiming any earlier would
+   let the slot be re-armed while the stale entry is still queued, and
+   the stale entry would then fire the new event at the old deadline.
+   Generations start at 1 and only grow, so a token is never 0 and —
+   with the [safety_cap] bounding lifetime executions at 2^30 — never
+   collides with a previous incarnation of its slot.
+
+   Same-instant batch execution: the run loop drains the maximal run of
+   head entries sharing the head deadline whose rank is below
+   [time lsl key_bits] — i.e. inserted at a strictly earlier clock —
+   and executes them as one batch. Events pushed by the batch at the
+   same instant carry rank >= the bound (the clock has caught up), so
+   they sort after every drained entry and cannot be overtaken; entries
+   already queued with rank >= the bound pop singly, because a new push
+   at the same instant with a smaller canonical key may still belong
+   before them. That is the whole ordering argument: the (time, rank,
+   seq) contract is untouched, batching only amortizes the per-event
+   head probe and cursor repositioning (3 wheel repositions per event
+   before, 1 per batch + 1 per pop now). The one scheduling form that
+   could violate the bound — [at ~sent], whose rank is below the
+   current clock — is only ever used between [run] calls (the PDES
+   window coordinator), never from inside an executing event; see
+   DESIGN.md §16 for the proof obligation.
+
+   The only observable divergence between backends is tombstone
+   handling: the heap pops every cancelled entry (a no-op step that
+   still advances the clock), while the wheel purges tombstones that
+   cascade before reaching level 0. Purged tombstones can only affect
+   where the clock coasts to after the last live event — never the
+   order or timing of executed events. *)
 
 type sched = Heap | Wheel
+
+(* Per-class executor state: each subsystem extends this with its own
+   constructor (a registry of ports, switches, flows...) so executors
+   get their targets by int index without the sim depending on any of
+   them. *)
+type user = ..
+
+type user += No_state
 
 type t = {
   mutable clock : Time.t;
@@ -50,6 +105,17 @@ type t = {
   mutable heap_hwm : int;
   mutable rearms : int;
   mutable cancels : int;
+  (* typed event table: per-class executors and their state... *)
+  exec_fn : (user -> int -> int -> unit) array;
+  exec_st : user array;
+  (* ...the handle pool behind [post] (slot-indexed, LIFO free list)... *)
+  mutable pool : handle array;
+  mutable pool_len : int;
+  mutable free : int array;
+  mutable free_len : int;
+  (* ...and the one callback the batched drain fires entries through,
+     preallocated so the drain itself allocates and stores nothing. *)
+  mutable fire_cb : handle -> unit;
 }
 
 and queue =
@@ -58,10 +124,14 @@ and queue =
 
 and handle = {
   owner : t;
-  cls : int; (* 0 one-shot, 1 reusable, 2 ticker *)
+  mutable cls : int; (* 0 one-shot, 1 reusable, 2 ticker, 3+ typed *)
   mutable alive : bool;
   mutable fired : bool;
   mutable fn : unit -> unit;
+  mutable a0 : int; (* typed classes: immediate args *)
+  mutable a1 : int;
+  mutable gen : int; (* typed classes: token generation, >= 1 *)
+  slot : int; (* pool slot, or -1 for closure handles *)
 }
 
 type ticker = { mutable running : bool; tick_handle : handle }
@@ -72,10 +142,30 @@ let cls_reusable = 1
 
 let cls_ticker = 2
 
+(* Typed event classes. The ids are engine-reserved names so call sites
+   across libraries agree without a central registry; they are not part
+   of the rank and never affect ordering. *)
+let cls_port_tx = 3
+
+let cls_delivery = 4
+
+let cls_switch_ctrl = 5
+
+let cls_nic_ctrl = 6
+
+let cls_flow_timeout = 7
+
+let cls_pdes_barrier = 8
+
+let cls_xpass_resume = 9
+
+let n_classes = 16
+
 type profile = {
   p_one_shot : int;
   p_reusable : int;
   p_ticker : int;
+  p_typed : int;
   p_heap_hwm : int;
   p_heap_capacity : int;
   p_rearms : int;
@@ -119,6 +209,11 @@ let q_pop q =
   | Q_heap hp -> Bfc_util.Heap.pop_min_exn hp
   | Q_wheel w -> Bfc_util.Wheel.pop_min_exn w
 
+let q_drain_run q ~time ~rank_bound f =
+  match q with
+  | Q_heap hp -> Bfc_util.Heap.drain_run hp ~time ~rank_bound f
+  | Q_wheel w -> Bfc_util.Wheel.drain_run w ~time ~rank_bound f
+
 let q_length q =
   match q with Q_heap hp -> Bfc_util.Heap.length hp | Q_wheel w -> Bfc_util.Wheel.length w
 
@@ -128,23 +223,94 @@ let q_is_empty q =
 let q_capacity q =
   match q with Q_heap hp -> Bfc_util.Heap.capacity hp | Q_wheel w -> Bfc_util.Wheel.capacity w
 
+let noop_fn () = ()
+
+let unregistered_exec (_ : user) (_ : int) (_ : int) =
+  invalid_arg "Sim: event posted to an unregistered class"
+
+(* Return a fired or purged pooled handle's slot to the free list. Only
+   called at queue-disposal points (see the lifecycle comment up top). *)
+let free_slot t h =
+  if t.free_len = Array.length t.free then begin
+    let ncap = max 16 (2 * t.free_len) in
+    let nf = Array.make ncap 0 in
+    Array.blit t.free 0 nf 0 t.free_len;
+    t.free <- nf
+  end;
+  Array.unsafe_set t.free t.free_len h.slot;
+  t.free_len <- t.free_len + 1
+
+(* Disposal of a popped dead entry: pooled handles go back to the free
+   list ([gen] was already bumped when the token was cancelled). *)
+let recycle_dead t h = if h.slot >= 0 then free_slot t h
+
+(* Fire one live handle: the direct-match dispatch point. Closure
+   classes call through [fn]; typed classes index the executor table
+   and then return their pooled handle. The generation bump comes after
+   the executor runs, so [token_pending] on the firing event's own
+   token already answers false (fired is set) without the executor
+   observing a recycled slot. *)
+let fire t h =
+  h.fired <- true;
+  t.live <- t.live - 1;
+  t.executed <- t.executed + 1;
+  let c = h.cls in
+  t.exec_by_class.(c) <- t.exec_by_class.(c) + 1;
+  if c <= cls_ticker then begin
+    h.fn ();
+    (* A fired one-shot never runs again; drop the closure so recycled
+       queue slots that still point at the handle can't keep whatever
+       it captured (often a flow's transport state) alive. *)
+    if c = cls_one_shot then h.fn <- noop_fn
+  end
+  else begin
+    (Array.unsafe_get t.exec_fn c) (Array.unsafe_get t.exec_st c) h.a0 h.a1;
+    h.gen <- h.gen + 1;
+    free_slot t h
+  end
+
 let create ?sched () =
   let q =
     match match sched with Some s -> s | None -> !default_sched_ref with
     | Heap -> Q_heap (Bfc_util.Heap.create ())
-    | Wheel -> Q_wheel (Bfc_util.Wheel.create ~garbage:(fun h -> not h.alive) ())
+    | Wheel ->
+      (* the release hook reclaims purged pooled tombstones — without
+         it a cancelled typed event whose entry cascades to its death
+         would leak its pool slot forever *)
+      Q_wheel
+        (Bfc_util.Wheel.create
+           ~garbage:(fun h -> not h.alive)
+           ~release:(fun h -> recycle_dead h.owner h)
+           ())
   in
-  {
-    clock = 0;
-    q;
-    live = 0;
-    executed = 0;
-    next_uid = 0;
-    exec_by_class = Array.make 3 0;
-    heap_hwm = 0;
-    rearms = 0;
-    cancels = 0;
-  }
+  let t =
+    {
+      clock = 0;
+      q;
+      live = 0;
+      executed = 0;
+      next_uid = 0;
+      exec_by_class = Array.make n_classes 0;
+      heap_hwm = 0;
+      rearms = 0;
+      cancels = 0;
+      exec_fn = Array.make n_classes unregistered_exec;
+      exec_st = Array.make n_classes No_state;
+      pool = [||];
+      pool_len = 0;
+      free = [||];
+      free_len = 0;
+      fire_cb = ignore;
+    }
+  in
+  let sentinel =
+    { owner = t; cls = cls_one_shot; alive = false; fired = true; fn = noop_fn;
+      a0 = 0; a1 = 0; gen = 0; slot = -1 }
+  in
+  t.pool <- Array.make 16 sentinel;
+  t.fire_cb <-
+    (fun h -> if h.alive && not h.fired then fire t h else recycle_dead t h);
+  t
 
 let sched t = match t.q with Q_heap _ -> Heap | Q_wheel _ -> Wheel
 
@@ -172,7 +338,10 @@ let rank_of ~clock ~key = (clock lsl key_bits) lor (key land key_mask)
 let at ?sent ?(key = key_mask) t time fn =
   if time < t.clock then
     invalid_arg (Printf.sprintf "Sim.at: scheduling in the past (%d < %d)" time t.clock);
-  let h = { owner = t; cls = cls_one_shot; alive = true; fired = false; fn } in
+  let h =
+    { owner = t; cls = cls_one_shot; alive = true; fired = false; fn;
+      a0 = 0; a1 = 0; gen = 0; slot = -1 }
+  in
   (match sent with
   | None -> q_push t.q ~priority:time ~rank:(rank_of ~clock:t.clock ~key) h
   | Some s ->
@@ -185,13 +354,114 @@ let at ?sent ?(key = key_mask) t time fn =
 
 let after ?key t delay fn = at ?key t (t.clock + max 0 delay) fn
 
+(* ------------------------- typed event posts ------------------------ *)
+
+let register_class t ~cls ~state ~exec =
+  if cls <= cls_ticker || cls >= n_classes then
+    invalid_arg (Printf.sprintf "Sim.register_class: class %d out of range" cls);
+  t.exec_fn.(cls) <- exec;
+  t.exec_st.(cls) <- state
+
+let class_state t ~cls =
+  if cls > cls_ticker && cls < n_classes && t.exec_fn.(cls) != unregistered_exec then
+    Some t.exec_st.(cls)
+  else None
+
+(* Token packing: slot in the high bits, generation (always >= 1, and
+   bounded by slot executions + cancellations <= safety_cap < 2^31) in
+   the low 31 — so 0 never names a live event and callers can use it as
+   "none" in a bare mutable int field. *)
+type token = int
+
+let gen_bits = 31
+
+let gen_mask = (1 lsl gen_bits) - 1
+
+let token_of h = (h.slot lsl gen_bits) lor (h.gen land gen_mask)
+
+let alloc_pooled t =
+  if t.free_len > 0 then begin
+    t.free_len <- t.free_len - 1;
+    Array.unsafe_get t.pool (Array.unsafe_get t.free t.free_len)
+  end
+  else begin
+    let slot = t.pool_len in
+    if slot = Array.length t.pool then begin
+      let ncap = 2 * slot in
+      let np = Array.make ncap (Array.unsafe_get t.pool 0) in
+      Array.blit t.pool 0 np 0 slot;
+      t.pool <- np
+    end;
+    let h =
+      { owner = t; cls = cls_one_shot; alive = false; fired = false; fn = noop_fn;
+        a0 = 0; a1 = 0; gen = 1; slot }
+    in
+    t.pool.(slot) <- h;
+    t.pool_len <- slot + 1;
+    h
+  end
+
+let post_handle ?sent ?(key = key_mask) t time ~cls ~a0 ~a1 =
+  if time < t.clock then
+    invalid_arg (Printf.sprintf "Sim.post: scheduling in the past (%d < %d)" time t.clock);
+  if cls <= cls_ticker || cls >= n_classes then
+    invalid_arg (Printf.sprintf "Sim.post: class %d out of range" cls);
+  let h = alloc_pooled t in
+  h.cls <- cls;
+  h.a0 <- a0;
+  h.a1 <- a1;
+  h.alive <- true;
+  h.fired <- false;
+  (match sent with
+  | None -> q_push t.q ~priority:time ~rank:(rank_of ~clock:t.clock ~key) h
+  | Some s ->
+    if s < 0 || s > t.clock then
+      invalid_arg (Printf.sprintf "Sim.post: ~sent out of range (%d, clock %d)" s t.clock);
+    q_push_late t.q ~priority:time ~rank:(rank_of ~clock:s ~key) h);
+  note_depth t;
+  t.live <- t.live + 1;
+  h
+
+let post ?sent ?key t time ~cls ~a0 ~a1 =
+  ignore (post_handle ?sent ?key t time ~cls ~a0 ~a1)
+
+let post_token ?sent ?key t time ~cls ~a0 ~a1 =
+  token_of (post_handle ?sent ?key t time ~cls ~a0 ~a1)
+
+let token_pending t token =
+  token <> 0
+  &&
+  let slot = token lsr gen_bits in
+  slot < t.pool_len
+  &&
+  let h = Array.unsafe_get t.pool slot in
+  h.gen land gen_mask = token land gen_mask && h.alive && not h.fired
+
+let cancel_token t token =
+  if token <> 0 then begin
+    let slot = token lsr gen_bits in
+    if slot < t.pool_len then begin
+      let h = Array.unsafe_get t.pool slot in
+      if h.gen land gen_mask = token land gen_mask && h.alive && not h.fired then begin
+        (* tombstone only: the queue entry still references the slot,
+           so it is reclaimed when the entry pops or is purged *)
+        h.alive <- false;
+        h.gen <- h.gen + 1;
+        t.live <- t.live - 1;
+        t.cancels <- t.cancels + 1
+      end
+    end
+  end
+
 (* Reusable handles: [make_handle] builds an unarmed handle once; [rearm]
    puts it back in the queue. Steady-state periodic or chained events (port
    wakeups, in-flight deliveries) allocate nothing per occurrence. A handle
    that was [cancel]led while armed still has a stale queue entry and must
    not be rearmed before its original deadline passes — the engine's own
    users (Port) never cancel reusable handles. *)
-let make_handle t fn = { owner = t; cls = cls_reusable; alive = false; fired = false; fn }
+let make_handle t fn =
+  { owner = t; cls = cls_reusable; alive = false; fired = false; fn;
+    a0 = 0; a1 = 0; gen = 0; slot = -1 }
 
 let rearm ?(key = key_mask) h ~at:time =
   let t = h.owner in
@@ -210,8 +480,6 @@ let rearm ?(key = key_mask) h ~at:time =
    RTO's closure is often the only thing keeping a finished flow's transport
    state alive, and the stale entry can outlive the whole run. Reusable
    handles keep their [fn] — [rearm] exists to reuse it. *)
-let noop_fn () = ()
-
 let cancel h =
   if h.alive && not h.fired then begin
     h.alive <- false;
@@ -246,6 +514,10 @@ let every t ~period fn =
               t.live <- t.live + 1
             end
           end);
+      a0 = 0;
+      a1 = 0;
+      gen = 0;
+      slot = -1;
     }
   in
   q_push t.q ~priority:(t.clock + period) ~rank:(rank_of ~clock:t.clock ~key:key_mask) h;
@@ -266,30 +538,85 @@ let step t =
     let h = q_pop t.q in
     t.clock <- time;
     if h.alive && not h.fired then begin
-      h.fired <- true;
-      t.live <- t.live - 1;
-      t.executed <- t.executed + 1;
-      t.exec_by_class.(h.cls) <- t.exec_by_class.(h.cls) + 1;
-      h.fn ();
-      (* A fired one-shot never runs again; drop the closure so recycled
-         queue slots that still point at the handle can't keep whatever
-         it captured (often a flow's transport state) alive. *)
-      if h.cls = cls_one_shot then h.fn <- noop_fn;
+      fire t h;
       true
     end
-    else false
+    else begin
+      recycle_dead t h;
+      false
+    end
   end
 
-let run t ~until =
+(* Execute the same-instant batch at head deadline [time]; returns how
+   many live events ran. [q_drain_run]'s rank bound admits only entries
+   inserted at strictly earlier clocks (see the header comment for why
+   that makes the drain order-exact), and the drain is guaranteed
+   non-empty when the head deadline is [time], so the clock can advance
+   before the first callback. The n = 0 fallback covers the one odd
+   case — a garbage purge emptied the queue between the head probe and
+   the drain — by deferring to the single-pop path. *)
+let exec_batch t time =
+  t.clock <- time;
+  let before = t.executed in
+  let n = q_drain_run t.q ~time ~rank_bound:(time lsl key_bits) t.fire_cb in
+  if n = 0 then (if step t then 1 else 0) else t.executed - before
+
+(* The run loops are specialized per backend. The wheel profits from
+   batch draining — one cursor reposition covers a whole same-instant
+   run instead of three probes per event — while the heap has no cursor
+   to amortize and pays a sift per pop regardless, so the batch
+   plumbing is pure overhead there; it keeps the tight peek/pop loop.
+   Both execute through [fire], so the ordering and the executed
+   accounting are identical; the A/B equal-event-count assertion in
+   bench --macro and the dispatch differential suite hold the two
+   shapes to the same schedule. *)
+let run_heap t hp ~until =
   let executed = ref 0 in
   let continue = ref true in
   while !continue do
-    let head = q_head_time t.q in
-    if head < 0 || head > until then continue := false
-    else if step t then incr executed
+    if Bfc_util.Heap.is_empty hp then continue := false
+    else begin
+      let head = Bfc_util.Heap.peek_priority hp in
+      if head > until then continue := false
+      else begin
+        let h = Bfc_util.Heap.pop_min_exn hp in
+        t.clock <- head;
+        if h.alive && not h.fired then begin
+          fire t h;
+          incr executed
+        end
+        else recycle_dead t h
+      end
+    end
   done;
-  if t.clock < until then t.clock <- until;
   !executed
+
+let run_wheel t w ~until =
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let head = Bfc_util.Wheel.head_time w in
+    if head < 0 || head > until then continue := false
+    else begin
+      t.clock <- head;
+      let before = t.executed in
+      let n = Bfc_util.Wheel.drain_run w ~time:head ~rank_bound:(head lsl key_bits) t.fire_cb in
+      if n = 0 then begin
+        if step t then incr executed
+      end
+      else executed := !executed + (t.executed - before)
+    end
+  done;
+  !executed
+
+let run t ~until =
+  let executed =
+    match t.q with
+    | Q_heap hp -> run_heap t hp ~until
+    | Q_wheel w -> run_wheel t w ~until
+  in
+  if t.clock < until then t.clock <- until;
+  executed
 
 let safety_cap = 1 lsl 30
 
@@ -305,10 +632,11 @@ let () =
 
 let run_until_idle ?(cap = safety_cap) t =
   let executed = ref 0 in
-  (* [step] can return false without popping when a wheel cascade purges
-     the last tombstones, so re-check emptiness each iteration. *)
+  (* the head probe can report empty after a wheel cascade purges the
+     last tombstones, so re-check emptiness each iteration *)
   while not (q_is_empty t.q) do
-    if step t then incr executed;
+    let head = q_head_time t.q in
+    if head >= 0 then executed := !executed + exec_batch t head;
     if !executed > cap then raise (Runaway { now = t.clock; pending_events = t.live })
   done;
   !executed
@@ -324,10 +652,15 @@ let pending_events t = t.live
 let executed_events t = t.executed
 
 let profile t =
+  let typed = ref 0 in
+  for c = cls_ticker + 1 to n_classes - 1 do
+    typed := !typed + t.exec_by_class.(c)
+  done;
   {
     p_one_shot = t.exec_by_class.(cls_one_shot);
     p_reusable = t.exec_by_class.(cls_reusable);
     p_ticker = t.exec_by_class.(cls_ticker);
+    p_typed = !typed;
     p_heap_hwm = t.heap_hwm;
     p_heap_capacity = q_capacity t.q;
     p_rearms = t.rearms;

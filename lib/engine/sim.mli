@@ -1,15 +1,41 @@
 (** The discrete-event simulation core.
 
     A [Sim.t] owns the virtual clock and the pending-event queue. Components
-    schedule closures at absolute or relative times; [run] executes events in
+    schedule events at absolute or relative times; [run] executes events in
     time order (FIFO among simultaneous events) until the horizon or until
-    the event set drains. *)
+    the event set drains.
+
+    Events come in two representations:
+
+    - {b closures} ([at]/[after]/[make_handle]/[every]) — fully general,
+      one heap allocation and an indirect call per occurrence. The control
+      plane and out-of-tree callers use these.
+    - {b typed posts} ([post]/[post_token]) — a class id from the small
+      fixed enum below plus two immediate int args, fired through a
+      per-class executor registered once per sim with [register_class].
+      Typed events are pooled inside the engine, so the steady-state hot
+      path (deliveries, watchdogs, retransmit timers, pacers) allocates
+      nothing and dispatches through a direct match instead of a closure
+      call. Cancellation uses int tokens ([cancel_token]), so callers need
+      no handle field either.
+
+    Both representations share one queue and one (time, rank, seq)
+    ordering contract; which one an event uses is invisible to the
+    schedule. *)
 
 type t
 
 type handle
 (** A scheduled event that can be cancelled. Cancellation is O(1): the event
     stays in the queue but becomes a no-op. *)
+
+(** Per-class executor state. Each subsystem extends this variant with a
+    constructor carrying its own registry (ports, switches, flow tables...)
+    and hands it to {!register_class}; the engine stores and returns it
+    without inspecting it. *)
+type user = ..
+
+type user += No_state
 
 (** The pending-event queue backend: the 4-ary min-heap
     ({!Bfc_util.Heap}, O(log n)) or the hierarchical timing wheel
@@ -66,6 +92,83 @@ val at : ?sent:Time.t -> ?key:int -> t -> Time.t -> (unit -> unit) -> handle
 
 (** [after t delay f] runs [f] at [now + delay]. [~key] as in {!at}. *)
 val after : ?key:int -> t -> Time.t -> (unit -> unit) -> handle
+
+(** {2 Typed event classes}
+
+    Engine-reserved class ids. They are names, not priorities: class ids
+    never enter the rank and never affect ordering. Classes 0–2 are the
+    closure representations and cannot be posted to directly. *)
+
+val cls_port_tx : int
+(** Port transmit wakeup — [a0] = port registry index, [a1] unused. *)
+
+val cls_delivery : int
+(** In-flight packet delivery at a port — [a0] = port registry index,
+    [a1] = ring selector (0 data, 1 control). *)
+
+val cls_switch_ctrl : int
+(** Switch watchdog (egress-queue or PFC unpause) — [a0] = switch
+    registry index, [a1] = packed (epoch, egress, queue). *)
+
+val cls_nic_ctrl : int
+(** NIC watchdog (per-queue pause or PFC) — [a0] = NIC registry index,
+    [a1] = packed (epoch, queue). *)
+
+val cls_flow_timeout : int
+(** Transport timer — [a0] = host registry index, [a1] = packed
+    (flow id, timer kind: RTO / credit pacer / credit stop / rate
+    pacer). *)
+
+val cls_pdes_barrier : int
+(** Cross-shard delivery admitted at a conservative-window barrier —
+    [a0] = parcel-table slot, [a1] unused. *)
+
+val cls_xpass_resume : int
+(** ExpressPass credit-queue resume probe — [a0] = attach registry
+    index, [a1] = egress. *)
+
+val n_classes : int
+(** Exclusive upper bound on class ids (16). Ids in
+    [[cls_port_tx, n_classes)] not claimed above are free for
+    out-of-tree subsystems. *)
+
+(** [register_class t ~cls ~state ~exec] installs the executor for a
+    typed class on this sim: every event posted with [~cls] fires as
+    [exec state a0 a1]. One executor per (sim, class); registering again
+    replaces it (subsystems call this idempotently from their [attach]/
+    [create] paths). Raises [Invalid_argument] for class ids outside
+    [[cls_port_tx, n_classes)]. *)
+val register_class : t -> cls:int -> state:user -> exec:(user -> int -> int -> unit) -> unit
+
+(** [class_state t ~cls] is the state registered for [cls] on this sim,
+    or [None] — how a subsystem finds (or decides to create) its
+    per-sim registry when attaching a second instance. *)
+val class_state : t -> cls:int -> user option
+
+(** [post t time ~cls ~a0 ~a1] schedules a typed fire-and-forget event:
+    [exec state a0 a1] runs at absolute [time]. No allocation in steady
+    state — the engine recycles a pooled handle. [?sent] and [?key]
+    exactly as in {!at}. Raises [Invalid_argument] on a past [time] or
+    a class outside the typed range ({!register_class} may happen
+    later, but must happen before the event fires). *)
+val post : ?sent:Time.t -> ?key:int -> t -> Time.t -> cls:int -> a0:int -> a1:int -> unit
+
+type token = int
+(** A cancellable typed event, as a plain int: 0 is never a valid token,
+    so callers can keep one in a bare mutable field with 0 as "none".
+    Tokens are generation-checked — a token outlives its event safely,
+    [cancel_token]/[token_pending] on a fired or already-cancelled
+    event's token are no-ops. *)
+
+(** Like {!post} but returns a {!token} for cancellation. *)
+val post_token : ?sent:Time.t -> ?key:int -> t -> Time.t -> cls:int -> a0:int -> a1:int -> token
+
+(** [cancel_token t tok] cancels the typed event named by [tok] if it is
+    still pending; O(1), no-op on 0, stale, fired or cancelled tokens. *)
+val cancel_token : t -> token -> unit
+
+(** Is the typed event named by this token still pending? *)
+val token_pending : t -> token -> bool
 
 val cancel : handle -> unit
 
@@ -132,10 +235,12 @@ val executed_events : t -> int
     event queue and the handle-reuse machinery are working. Maintained
     unconditionally (plain int stores per event); read it at any point.
 
-    - [p_one_shot] / [p_reusable] / [p_ticker]: events executed per class —
-      fresh [at]/[after] closures, reusable handles ([make_handle] +
-      {!rearm}: port wakeups, pooled deliveries), and {!every} ticks.
-      A healthy hot path executes mostly reusable events.
+    - [p_one_shot] / [p_reusable] / [p_ticker]: closure events executed
+      per class — fresh [at]/[after] closures, reusable handles
+      ([make_handle] + {!rearm}: port wakeups), and {!every} ticks.
+    - [p_typed]: typed events executed ({!post}/{!post_token}), summed
+      over all registered classes. A healthy hot path executes mostly
+      typed and reusable events.
     - [p_heap_hwm]: deepest the pending-event queue ever got (backlog
       high-water mark, whichever backend); [p_heap_capacity] is the
       backing storage it grew to (heap array slots, or total wheel
@@ -147,6 +252,7 @@ type profile = {
   p_one_shot : int;
   p_reusable : int;
   p_ticker : int;
+  p_typed : int;
   p_heap_hwm : int;
   p_heap_capacity : int;
   p_rearms : int;

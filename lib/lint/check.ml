@@ -14,7 +14,7 @@
 
 open Parsetree
 
-type scope = { dataplane : bool; lib : bool }
+type scope = { dataplane : bool; lib : bool; perf : bool }
 
 (* Longident path as a string list, with any [Stdlib.] prefix dropped. *)
 let path_of_lid lid =
@@ -50,6 +50,7 @@ let run ~path ~(scope : scope) suppress (structure : structure) =
   let binding_allows = ref [] in
   let control_plane = ref false in
   let dataplane_here () = scope.dataplane && not !control_plane in
+  let perf_here () = scope.perf && not !control_plane in
   let report rule (loc : Location.t) message =
     let line = loc.Location.loc_start.Lexing.pos_lnum in
     let col = loc.Location.loc_start.Lexing.pos_cnum - loc.Location.loc_start.Lexing.pos_bol in
@@ -130,6 +131,27 @@ let run ~path ~(scope : scope) suppress (structure : structure) =
       report Rule.rob_assert_false e.pexp_loc
         "assert false aborts without context; raise a structured exception"
     | Pexp_apply (fn, args) -> (
+      (* PF001: arming a timer with a closure literal allocates on every
+         arm; hot paths must post typed events or pre-build the handle.
+         Named partial applications (rare fallbacks) pass. *)
+      (if perf_here () then
+         match fn.pexp_desc with
+         | Pexp_ident { txt; _ } -> (
+           match List.rev (path_of_lid txt) with
+           | (("at" | "after") as tfn) :: "Sim" :: _
+             when List.exists
+                    (fun (_, a) ->
+                      match a.pexp_desc with
+                      | Pexp_fun _ | Pexp_function _ -> true
+                      | _ -> false)
+                    args ->
+             report Rule.pf_closure_timer fn.pexp_loc
+               (Printf.sprintf
+                  "Sim.%s with a closure literal on a hot scheduling path; post a typed event \
+                   (Sim.post) or pre-build the handle with Sim.make_handle"
+                  tfn)
+           | _ -> ())
+         | _ -> ());
       match (fn.pexp_desc, args) with
       (* e |> List.sort cmp : the left-hand side flows into a sort *)
       | Pexp_ident { txt = Longident.Lident "|>"; _ }, [ (_, lhs); (_, rhs) ] when heads_sort rhs

@@ -3,6 +3,7 @@
 type scope = {
   dataplane : bool;  (** feasibility family applies (per-packet BFC modules) *)
   lib : bool;  (** determinism + robustness families apply (under lib/) *)
+  perf : bool;  (** perf family applies (hot scheduling paths) *)
 }
 
 (** [run ~path ~scope suppress structure] returns every finding paired with

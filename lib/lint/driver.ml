@@ -17,6 +17,18 @@ let dataplane_files =
     "lib/engine/channel.ml";
   ]
 
+(* Hot scheduling paths that get the perf family (PF rules) on top of the
+   dataplane set: the modules that arm per-packet/per-pause timers. These
+   went closure-free with the typed event table (PR 10) and must stay so. *)
+let perf_files =
+  [
+    "lib/net/port.ml";
+    "lib/switch/switch.ml";
+    "lib/transport/nic.ml";
+    "lib/transport/host.ml";
+    "lib/transport/xpass_switch.ml";
+  ]
+
 let normalize path =
   let path = String.map (fun c -> if c = '\\' then '/' else c) path in
   let rec strip p = if String.length p > 2 && String.sub p 0 2 = "./" then strip (String.sub p 2 (String.length p - 2)) else p in
@@ -32,9 +44,11 @@ let scope_of_path path =
   let p = normalize path in
   let segments = String.split_on_char '/' p in
   let dir_segments = match List.rev segments with [] -> [] | _ :: rev_dirs -> rev_dirs in
+  let dataplane = List.exists (has_suffix p) dataplane_files in
   {
-    Check.dataplane = List.exists (has_suffix p) dataplane_files;
+    Check.dataplane;
     lib = List.mem "lib" dir_segments;
+    perf = dataplane || List.exists (has_suffix p) perf_files;
   }
 
 let read_file path =

@@ -1,4 +1,4 @@
-type family = Feasibility | Determinism | Robustness
+type family = Feasibility | Determinism | Robustness | Perf
 
 type severity = Error | Warning
 
@@ -14,6 +14,7 @@ let family_to_string = function
   | Feasibility -> "feasibility"
   | Determinism -> "determinism"
   | Robustness -> "robustness"
+  | Perf -> "perf"
 
 let severity_to_string = function Error -> "error" | Warning -> "warning"
 
@@ -138,6 +139,18 @@ let rob_assert_false =
        sim time (e.g. Packet.Missing_flow) so failures are diagnosable";
   }
 
+let pf_closure_timer =
+  {
+    id = "PF001";
+    name = "pf-closure-timer";
+    family = Perf;
+    severity = Error;
+    doc =
+      "Sim.at/Sim.after with a closure literal on a hot scheduling path: each arm allocates a \
+       fresh closure; post a typed event (Sim.post with a class id) or pre-build the handle once \
+       with Sim.make_handle";
+  }
+
 let all =
   [
     df_list;
@@ -151,6 +164,7 @@ let all =
     det_hashtbl_order;
     rob_catchall;
     rob_assert_false;
+    pf_closure_timer;
   ]
 
 let find key =

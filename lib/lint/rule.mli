@@ -1,6 +1,6 @@
 (** Lint rule registry.
 
-    Three families, mirroring the properties the reproduction depends on:
+    Four families, mirroring the properties the reproduction depends on:
 
     - {b feasibility} (DF rules): the BFC dataplane of paper section 3.3
       only fits Tofino2 because every per-packet operation is constant-time
@@ -9,9 +9,11 @@
     - {b determinism} (DT rules): the simulator must replay identically from
       a seed, across OCaml hash seeds and wall-clock conditions.
     - {b robustness} (RB rules): packet-path failures must raise structured,
-      diagnosable errors. *)
+      diagnosable errors.
+    - {b perf} (PF rules): the engine's steady state is allocation-free;
+      these rules keep closure allocation off the hot scheduling paths. *)
 
-type family = Feasibility | Determinism | Robustness
+type family = Feasibility | Determinism | Robustness | Perf
 
 type severity = Error | Warning
 
@@ -48,6 +50,8 @@ val det_hashtbl_order : t
 val rob_catchall : t
 
 val rob_assert_false : t
+
+val pf_closure_timer : t
 
 (** Every rule, in id order. *)
 val all : t list

@@ -1,18 +1,25 @@
 (* The transmitter is clock-based rather than event-based: [send] records
    when serialization will finish ([busy_until]) and schedules no completion
    event of its own. A device that wants the port back calls
-   [ensure_wakeup], which arms one reusable handle at [busy_until] — so an
-   egress that goes idle with an empty queue costs zero events, and a
-   backlogged egress costs one (allocation-free) wakeup per transmission
-   instead of one fresh closure + handle per packet.
+   [ensure_wakeup], which posts one typed [cls_port_tx] event at
+   [busy_until] — so an egress that goes idle with an empty queue costs
+   zero events, and a backlogged egress costs one (allocation-free) wakeup
+   per transmission instead of one fresh closure + handle per packet.
 
-   Deliveries reuse handles too: in-flight packets sit in a FIFO ring
-   (delivery times are monotone per port — sends are serialized and [prop]
-   is constant), and each delivery event borrows a handle from a per-port
-   free list, popping the ring head when it fires. *)
+   Deliveries are typed events over FIFO rings: in-flight packets sit in
+   a per-port ring (delivery times are monotone per port — sends are
+   serialized and [prop] is constant), and a [cls_delivery] event pops the
+   ring head when it fires. Control packets get a second ring: their
+   delivery times are monotone among themselves (now + prop) but
+   interleave arbitrarily with data deliveries, so the two streams cannot
+   share one FIFO; the event's [a1] selects the ring. Every port of a sim
+   registers in one per-sim registry ([Sim.user] state), and the shared
+   executors reach the port by its registry index in [a0] — no per-event
+   closure anywhere on the wire path. *)
 
 type t = {
   sim : Bfc_engine.Sim.t;
+  idx : int; (* index into the per-sim port registry, the [a0] of events *)
   gid : int;
   gbps : float;
   prop : Bfc_engine.Time.t;
@@ -25,40 +32,99 @@ type t = {
   mutable on_tx : (Packet.t -> unit) option; (* telemetry tap *)
   mutable fault : Packet.t -> bool; (* fault injection: drop on the wire? *)
   mutable dropped : int;
-  mutable wake : Bfc_engine.Sim.handle option; (* lazy idle wakeup *)
-  mutable ring : Packet.t array; (* in-flight deliveries, circular FIFO *)
+  mutable wake_t : Bfc_engine.Sim.token; (* lazy idle wakeup, 0 = none *)
+  mutable ring : Packet.t array; (* in-flight data deliveries, circular FIFO *)
   mutable head : int;
   mutable count : int;
-  mutable hpool : Bfc_engine.Sim.handle array; (* free delivery handles *)
-  mutable hpool_n : int;
+  mutable cring : Packet.t array; (* in-flight control deliveries *)
+  mutable chead : int;
+  mutable ccount : int;
   mutable remote : (Packet.t -> at:Bfc_engine.Time.t -> unit) option;
       (* cross-shard egress (PDES): when set, deliveries are handed to this
          capture hook instead of being scheduled on the local sim *)
 }
 
+(* ------------------------ per-sim registry ------------------------- *)
+
+type reg = { mutable parr : t array; mutable pn : int }
+
+type Bfc_engine.Sim.user += Port_reg of reg
+
+let ring_pop t =
+  let pkt = t.ring.(t.head) in
+  t.head <- (t.head + 1) mod Array.length t.ring;
+  t.count <- t.count - 1;
+  pkt
+
+let cring_pop t =
+  let pkt = t.cring.(t.chead) in
+  t.chead <- (t.chead + 1) mod Array.length t.cring;
+  t.ccount <- t.ccount - 1;
+  pkt
+
+(* The two shared executors: every delivery and every transmit wakeup in
+   a simulation dispatches to these two code paths, keyed by registry
+   index — stable call targets instead of thousands of closures. *)
+let deliver_exec st a0 a1 =
+  match st with
+  | Port_reg r ->
+    let p = Array.unsafe_get r.parr a0 in
+    Node.deliver p.peer ~in_port:p.peer_port (if a1 = 0 then ring_pop p else cring_pop p)
+  | _ -> invalid_arg "Port.deliver_exec: foreign class state"
+
+let tx_exec st a0 _a1 =
+  match st with
+  | Port_reg r -> (Array.unsafe_get r.parr a0).on_idle ()
+  | _ -> invalid_arg "Port.tx_exec: foreign class state"
+
+let registry sim =
+  match Bfc_engine.Sim.class_state sim ~cls:Bfc_engine.Sim.cls_delivery with
+  | Some (Port_reg r) -> r
+  | _ ->
+    let r = { parr = [||]; pn = 0 } in
+    let state = Port_reg r in
+    Bfc_engine.Sim.register_class sim ~cls:Bfc_engine.Sim.cls_delivery ~state
+      ~exec:deliver_exec;
+    Bfc_engine.Sim.register_class sim ~cls:Bfc_engine.Sim.cls_port_tx ~state ~exec:tx_exec;
+    r
+
 let create ~sim ~gid ~gbps ~prop ~peer ~peer_port =
-  {
-    sim;
-    gid;
-    gbps;
-    prop;
-    peer;
-    peer_port;
-    busy_until = 0;
-    tx_bytes = 0;
-    tx_packets = 0;
-    on_idle = ignore;
-    on_tx = None;
-    fault = (fun _ -> false);
-    dropped = 0;
-    wake = None;
-    ring = [||];
-    head = 0;
-    count = 0;
-    hpool = [||];
-    hpool_n = 0;
-    remote = None;
-  }
+  let r = registry sim in
+  let t =
+    {
+      sim;
+      idx = r.pn;
+      gid;
+      gbps;
+      prop;
+      peer;
+      peer_port;
+      busy_until = 0;
+      tx_bytes = 0;
+      tx_packets = 0;
+      on_idle = ignore;
+      on_tx = None;
+      fault = (fun _ -> false);
+      dropped = 0;
+      wake_t = 0;
+      ring = [||];
+      head = 0;
+      count = 0;
+      cring = [||];
+      chead = 0;
+      ccount = 0;
+      remote = None;
+    }
+  in
+  if r.pn = Array.length r.parr then begin
+    let ncap = max 64 (2 * r.pn) in
+    let np = Array.make ncap t in
+    Array.blit r.parr 0 np 0 r.pn;
+    r.parr <- np
+  end;
+  r.parr.(r.pn) <- t;
+  r.pn <- r.pn + 1;
+  t
 
 let gid t = t.gid
 
@@ -103,43 +169,19 @@ let ring_push t pkt =
   t.ring.((t.head + t.count) mod Array.length t.ring) <- pkt;
   t.count <- t.count + 1
 
-let ring_pop t =
-  let pkt = t.ring.(t.head) in
-  t.head <- (t.head + 1) mod Array.length t.ring;
-  t.count <- t.count - 1;
-  pkt
-
-let hpool_put t h =
-  let cap = Array.length t.hpool in
-  if t.hpool_n = cap then begin
+let cring_push t pkt =
+  let cap = Array.length t.cring in
+  if t.ccount = cap then begin
     let ncap = if cap = 0 then 8 else cap * 2 in
-    let nh = Array.make ncap h in
-    Array.blit t.hpool 0 nh 0 t.hpool_n;
-    t.hpool <- nh
+    let nr = Array.make ncap pkt in
+    for i = 0 to t.ccount - 1 do
+      nr.(i) <- t.cring.((t.chead + i) mod cap)
+    done;
+    t.cring <- nr;
+    t.chead <- 0
   end;
-  t.hpool.(t.hpool_n) <- h;
-  t.hpool_n <- t.hpool_n + 1
-
-let new_delivery_handle t =
-  let hr = ref None in
-  let h =
-    Bfc_engine.Sim.make_handle t.sim (fun () ->
-        (match !hr with Some h -> hpool_put t h | None -> ());
-        Node.deliver t.peer ~in_port:t.peer_port (ring_pop t))
-  in
-  hr := Some h;
-  h
-
-let schedule_delivery t pkt ~at =
-  ring_push t pkt;
-  let h =
-    if t.hpool_n > 0 then begin
-      t.hpool_n <- t.hpool_n - 1;
-      t.hpool.(t.hpool_n)
-    end
-    else new_delivery_handle t
-  in
-  Bfc_engine.Sim.rearm ~key:t.gid h ~at
+  t.cring.((t.chead + t.ccount) mod Array.length t.cring) <- pkt;
+  t.ccount <- t.ccount + 1
 
 let send t pkt =
   let now = Bfc_engine.Sim.now t.sim in
@@ -152,28 +194,31 @@ let send t pkt =
   if t.fault pkt then t.dropped <- t.dropped + 1
   else begin
     match t.remote with
-    | None -> schedule_delivery t pkt ~at:(now + ser + t.prop)
+    | None ->
+      ring_push t pkt;
+      Bfc_engine.Sim.post ~key:t.gid t.sim (now + ser + t.prop)
+        ~cls:Bfc_engine.Sim.cls_delivery ~a0:t.idx ~a1:0
     | Some f -> f pkt ~at:(now + ser + t.prop)
   end
 
 let ensure_wakeup t =
-  if Bfc_engine.Sim.now t.sim < t.busy_until then begin
-    match t.wake with
-    | Some h -> if not (Bfc_engine.Sim.pending h) then Bfc_engine.Sim.rearm h ~at:t.busy_until
-    | None ->
-      let h = Bfc_engine.Sim.make_handle t.sim (fun () -> t.on_idle ()) in
-      t.wake <- Some h;
-      Bfc_engine.Sim.rearm h ~at:t.busy_until
-  end
+  if
+    Bfc_engine.Sim.now t.sim < t.busy_until
+    && not (Bfc_engine.Sim.token_pending t.sim t.wake_t)
+  then
+    t.wake_t <-
+      Bfc_engine.Sim.post_token t.sim t.busy_until ~cls:Bfc_engine.Sim.cls_port_tx ~a0:t.idx
+        ~a1:0
 
 let send_ctrl t pkt =
   if t.fault pkt then t.dropped <- t.dropped + 1
   else begin
     match t.remote with
     | None ->
-      ignore
-        (Bfc_engine.Sim.after ~key:t.gid t.sim t.prop (fun () ->
-             Node.deliver t.peer ~in_port:t.peer_port pkt))
+      cring_push t pkt;
+      Bfc_engine.Sim.post ~key:t.gid t.sim
+        (Bfc_engine.Sim.now t.sim + t.prop)
+        ~cls:Bfc_engine.Sim.cls_delivery ~a0:t.idx ~a1:1
     | Some f -> f pkt ~at:(Bfc_engine.Sim.now t.sim + t.prop)
   end
 

@@ -325,6 +325,14 @@ let merge_tick_samples parts =
   done;
   out
 
+(* Synchronization diagnostics of the most recent sharded run (messages,
+   ring bursts, windows, stalls), recorded before the workers are torn
+   down so the bench can report the batching ratio without keeping the
+   PDES instance alive. *)
+type pdes_stats = { ps_messages : int; ps_bursts : int; ps_windows : int; ps_stalls : int }
+
+let last_pdes_stats : pdes_stats option ref = ref None
+
 let run_std_sharded s ~shards =
   let spines, tors, hosts_per_tor = clos_scale s.sp_profile in
   let params = std_params s in
@@ -398,7 +406,15 @@ let run_std_sharded s ~shards =
       Pdes.run p ~until:dur;
       let injected = Array.fold_left (fun a e -> a + Runner.injected e) 0 envs in
       Pdes.drain p ~budget:(8 * dur) ~done_:(fun () ->
-          Array.fold_left (fun a e -> a + Runner.completed e) 0 envs >= injected));
+          Array.fold_left (fun a e -> a + Runner.completed e) 0 envs >= injected);
+      last_pdes_stats :=
+        Some
+          {
+            ps_messages = Pdes.messages p;
+            ps_bursts = Pdes.bursts p;
+            ps_windows = Pdes.windows p;
+            ps_stalls = Pdes.stalls p;
+          });
   let env = Runner.merged envs in
   (* generation order preserved; per flow, the record written by its
      receiver — the dst shard's replica — is the authoritative one *)

@@ -94,6 +94,14 @@ val run_std_seq : std_setup -> std_result
 (** The sharded path, explicit shard count ([shards >= 2]). *)
 val run_std_sharded : std_setup -> shards:int -> std_result
 
+(** Synchronization diagnostics of the most recent {!run_std_sharded}:
+    cross-shard messages, the SPSC ring slots (bursts) they crossed in,
+    barrier windows, and full-channel stalls. [None] until a sharded run
+    completes. *)
+type pdes_stats = { ps_messages : int; ps_bursts : int; ps_windows : int; ps_stalls : int }
+
+val last_pdes_stats : pdes_stats option ref
+
 (** One independent unit of an experiment sweep: a label and a thunk that
     builds its own [Sim.t]/[Runner.env] from scratch (no state shared with
     any other point, so points can run on separate domains). *)

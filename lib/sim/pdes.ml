@@ -82,7 +82,9 @@ type worker = {
   w_cv : Condition.t; (* command handoff (coordinator -> worker) *)
   mutable w_cmd : cmd option;
   w_busy : bool Atomic.t;
-  w_chan : msg Channel.t;
+  w_chan : msg array Channel.t; (* one ring slot per burst, not per message *)
+  mutable w_burst : msg list; (* burst under construction, newest first *)
+  mutable w_burst_n : int;
   mutable w_seq : int; (* written by the owning worker only *)
   mutable w_stalls : int; (* full-channel retries (diagnostics) *)
   mutable w_exn : exn option; (* failure inside Sim.run, rethrown at the barrier *)
@@ -97,10 +99,16 @@ type t = {
   co_cv : Condition.t; (* coordinator wakeups (completion / full channel) *)
   mutable pending : msg list; (* drained, not yet inserted *)
   mutable messages : int; (* total cross-shard messages (diagnostics) *)
+  mutable bursts : int; (* ring slots those messages crossed in *)
   mutable windows : int; (* barrier rounds (diagnostics) *)
 }
 
 let channel_capacity = 1 lsl 15
+
+(* Messages per ring slot: a producer publishes at most one cursor bump
+   per [burst_max] messages (plus one for the window's tail), instead of
+   one per message. *)
+let burst_max = 256
 
 (* Wake the coordinator: workers call this on completion and while
    spinning on a full channel (so the single consumer is never asleep
@@ -109,6 +117,23 @@ let wake t =
   Mutex.lock t.co_mu;
   Condition.broadcast t.co_cv;
   Mutex.unlock t.co_mu
+
+(* Producer side: publish the burst under construction as one ring slot.
+   Runs on the owning worker's domain (and, harmlessly, on the
+   coordinator after a barrier, when the buffer is always empty). *)
+let flush_burst t w =
+  if w.w_burst_n > 0 then begin
+    let b = Array.of_list (List.rev w.w_burst) in
+    w.w_burst <- [];
+    w.w_burst_n <- 0;
+    while not (Channel.try_push w.w_chan b) do
+      (* bounded + lossless: stall here (never drop), and wake the
+         coordinator so the single consumer drains us free *)
+      w.w_stalls <- w.w_stalls + 1;
+      wake t;
+      Domain.cpu_relax ()
+    done
+  end
 
 let worker_body t k =
   let w = t.workers.(k) in
@@ -132,6 +157,9 @@ let worker_body t k =
       wake t
     | Run until ->
       (try ignore (Sim.run sx.sx_sim ~until) with e -> w.w_exn <- Some e);
+      (* the window's tail burst must be visible before the barrier sees
+         us parked ([Atomic.set] publishes both) *)
+      flush_burst t w;
       Atomic.set w.w_busy false;
       wake t;
       loop ()
@@ -150,6 +178,8 @@ let create ~shards ~lookahead =
           w_cmd = None;
           w_busy = Atomic.make false;
           w_chan = Channel.create ~capacity:channel_capacity;
+          w_burst = [];
+          w_burst_n = 0;
           w_seq = 0;
           w_stalls = 0;
           w_exn = None;
@@ -166,6 +196,7 @@ let create ~shards ~lookahead =
       co_cv = Condition.create ();
       pending = [];
       messages = 0;
+      bursts = 0;
       windows = 0;
     }
   in
@@ -194,13 +225,9 @@ let emit t ~src_shard ~src_gid ~dst_shard ~dst_node ~in_port pkt ~at =
     }
   in
   w.w_seq <- w.w_seq + 1;
-  while not (Channel.try_push w.w_chan m) do
-    (* bounded + lossless: stall here (never drop), and wake the
-       coordinator so the single consumer drains us free *)
-    w.w_stalls <- w.w_stalls + 1;
-    wake t;
-    Domain.cpu_relax ()
-  done
+  w.w_burst <- m :: w.w_burst;
+  w.w_burst_n <- w.w_burst_n + 1;
+  if w.w_burst_n >= burst_max then flush_burst t w
 
 (* Install the remote hook on every cut port owned by [shard]: captures
    happen at send time on the producing domain (capturing at
@@ -219,15 +246,14 @@ let wire t ~partition ~shard ~topo =
 let drain_channels t =
   Array.iter
     (fun w ->
-      let rec go () =
-        match Channel.pop w.w_chan with
-        | Some m ->
-          t.pending <- m :: t.pending;
-          t.messages <- t.messages + 1;
-          go ()
-        | None -> ()
-      in
-      go ())
+      t.bursts <-
+        t.bursts
+        + Channel.drain w.w_chan (fun b ->
+              Array.iter
+                (fun m ->
+                  t.pending <- m :: t.pending;
+                  t.messages <- t.messages + 1)
+                b))
     t.workers
 
 let any_busy t = Array.exists (fun w -> Atomic.get w.w_busy) t.workers
@@ -279,6 +305,76 @@ let cmp_msg a b =
       let c = Int.compare a.m_src_gid b.m_src_gid in
       if c <> 0 then c else Int.compare a.m_seq b.m_seq
 
+(* Typed barrier delivery ([cls_pdes_barrier]): the payload of a
+   cross-shard delivery — destination node, ingress port, packet — lives
+   in a per-sim parcel table, and the event carries only the parcel slot
+   in [a0]. Slots are allocated at the barrier (coordinator thread,
+   every shard parked) and released by the executor (the owning worker's
+   domain, inside its window); each side's writes are published to the
+   other by the barrier protocol itself (the [w_busy] atomics and the
+   command mutex handoff), so the table needs no locking of its own. *)
+
+type parcel = {
+  mutable pc_node : Node.t;
+  mutable pc_in_port : int;
+  mutable pc_pkt : Packet.t;
+}
+
+type preg = {
+  mutable pslots : parcel array; (* [0, pn) are allocated-or-free parcels *)
+  mutable pn : int;
+  mutable pfree : int array; (* LIFO free list of slot indices *)
+  mutable pfree_n : int;
+}
+
+type Bfc_engine.Sim.user += Pdes_reg of preg
+
+let parcel_exec st a0 _a1 =
+  match st with
+  | Pdes_reg r ->
+    let p = Array.unsafe_get r.pslots a0 in
+    if r.pfree_n = Array.length r.pfree then begin
+      let ncap = max 64 (2 * r.pfree_n) in
+      let nf = Array.make ncap 0 in
+      Array.blit r.pfree 0 nf 0 r.pfree_n;
+      r.pfree <- nf
+    end;
+    r.pfree.(r.pfree_n) <- a0;
+    r.pfree_n <- r.pfree_n + 1;
+    Node.deliver p.pc_node ~in_port:p.pc_in_port p.pc_pkt
+  | _ -> invalid_arg "Pdes.parcel_exec: foreign class state"
+
+let preg_of sim =
+  match Sim.class_state sim ~cls:Sim.cls_pdes_barrier with
+  | Some (Pdes_reg r) -> r
+  | _ ->
+    let r = { pslots = [||]; pn = 0; pfree = [||]; pfree_n = 0 } in
+    Sim.register_class sim ~cls:Sim.cls_pdes_barrier ~state:(Pdes_reg r) ~exec:parcel_exec;
+    r
+
+let parcel_alloc r node ~in_port pkt =
+  if r.pfree_n > 0 then begin
+    r.pfree_n <- r.pfree_n - 1;
+    let i = r.pfree.(r.pfree_n) in
+    let p = r.pslots.(i) in
+    p.pc_node <- node;
+    p.pc_in_port <- in_port;
+    p.pc_pkt <- pkt;
+    i
+  end
+  else begin
+    let p = { pc_node = node; pc_in_port = in_port; pc_pkt = pkt } in
+    if r.pn = Array.length r.pslots then begin
+      let ncap = max 64 (2 * r.pn) in
+      let ns = Array.make ncap p in
+      Array.blit r.pslots 0 ns 0 r.pn;
+      r.pslots <- ns
+    end;
+    r.pslots.(r.pn) <- p;
+    r.pn <- r.pn + 1;
+    r.pn - 1
+  end
+
 (* Barrier insertion: all shards are parked, so their queues are safe to
    touch from here (the next command's mutex handoff publishes the
    writes). Re-binding the flow replica happens now, on the packet the
@@ -297,12 +393,10 @@ let flush_pending t =
         (match Int_table.find_exn sx.sx_replicas m.m_flow_id with
         | exception Not_found -> ()
         | f -> m.m_pkt.Packet.flow <- Some f);
-        let node = sx.sx_nodes.(m.m_dst_node) in
-        let in_port = m.m_in_port in
-        let pkt = m.m_pkt in
-        ignore
-          (Sim.at ~sent:m.m_sent ~key:m.m_src_gid sx.sx_sim m.m_at (fun () ->
-               Node.deliver node ~in_port pkt)))
+        let r = preg_of sx.sx_sim in
+        let slot = parcel_alloc r sx.sx_nodes.(m.m_dst_node) ~in_port:m.m_in_port m.m_pkt in
+        Sim.post ~sent:m.m_sent ~key:m.m_src_gid sx.sx_sim m.m_at ~cls:Sim.cls_pdes_barrier
+          ~a0:slot ~a1:0)
       (List.sort cmp_msg ms)
 
 let run t ~until =
@@ -353,6 +447,8 @@ let shutdown t =
   Array.iter (fun w -> w.w_dom <- None) t.workers
 
 let messages t = t.messages
+
+let bursts t = t.bursts
 
 let windows t = t.windows
 

@@ -69,6 +69,10 @@ val shutdown : t -> unit
 (** Cross-shard messages carried so far. *)
 val messages : t -> int
 
+(** SPSC ring slots those messages crossed in (producers batch up to 256
+    messages per slot); [messages / bursts] is the batching win. *)
+val bursts : t -> int
+
 (** Window barriers executed so far. *)
 val windows : t -> int
 

@@ -54,6 +54,7 @@ type egress = {
 type t = {
   sim : Sim.t;
   node : Node.t;
+  idx : int; (* index into the per-sim switch registry, the [a0] of events *)
   cfg : config;
   pool : Packet.Pool.t option;
   route : route_fn;
@@ -239,18 +240,32 @@ let rec set_queue_paused t ~egress ~queue paused =
     try_send t e
   end
 
+(* Watchdog checks are typed [cls_switch_ctrl] events: [a1] packs
+   (epoch << 24) | (egress << 12) | (queue + 1), with queue slot 0
+   reserved for the per-port PFC watchdog. The packing fits whenever the
+   switch has < 4096 ports and < 4095 queues per port (the epoch is
+   bounded by the event budget, far below the remaining 39 bits); a
+   switch outsized for the packing falls back to the closure path, which
+   is identical in schedule order — same deadline, same default key,
+   one push either way. *)
 and arm_queue_watchdog t e ~queue =
   match t.cfg.pause_watchdog with
   | None -> ()
   | Some timeout ->
     let epoch = e.ewd_epoch.(queue) in
-    ignore
-      (Sim.after t.sim timeout (fun () ->
-           if e.ewd_epoch.(queue) = epoch && e.equeues.(queue).Fifo.paused then begin
-             t.watchdog_fires <- t.watchdog_fires + 1;
-             t.hk.on_watchdog t ~egress:e.eidx ~queue;
-             set_queue_paused t ~egress:e.eidx ~queue false
-           end))
+    if e.eidx < 4096 && queue < 4095 then
+      Sim.post t.sim
+        (Sim.now t.sim + timeout)
+        ~cls:Sim.cls_switch_ctrl ~a0:t.idx
+        ~a1:((epoch lsl 24) lor (e.eidx lsl 12) lor (queue + 1))
+    else ignore (Sim.after t.sim timeout (wd_fallback t e ~queue epoch))
+
+and wd_fallback t e ~queue epoch () =
+  if e.ewd_epoch.(queue) = epoch && e.equeues.(queue).Fifo.paused then begin
+    t.watchdog_fires <- t.watchdog_fires + 1;
+    t.hk.on_watchdog t ~egress:e.eidx ~queue;
+    set_queue_paused t ~egress:e.eidx ~queue false
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Receive path                                                        *)
@@ -289,18 +304,52 @@ let pfc_unpause t e =
   t.hk.on_queue_pause t ~egress:e.eidx ~queue:(-1) ~paused:false;
   try_send t e
 
+let pfc_wd_fallback t e epoch () =
+  if e.epfc_epoch = epoch && e.epfc_paused then begin
+    t.watchdog_fires <- t.watchdog_fires + 1;
+    t.hk.on_watchdog t ~egress:e.eidx ~queue:(-1);
+    pfc_unpause t e
+  end
+
 let arm_pfc_watchdog t e =
   match t.cfg.pause_watchdog with
   | None -> ()
   | Some timeout ->
-    let epoch = e.epfc_epoch in
-    ignore
-      (Sim.after t.sim timeout (fun () ->
-           if e.epfc_epoch = epoch && e.epfc_paused then begin
-             t.watchdog_fires <- t.watchdog_fires + 1;
-             t.hk.on_watchdog t ~egress:e.eidx ~queue:(-1);
-             pfc_unpause t e
-           end))
+    if e.eidx < 4096 then
+      Sim.post t.sim
+        (Sim.now t.sim + timeout)
+        ~cls:Sim.cls_switch_ctrl ~a0:t.idx
+        ~a1:((e.epfc_epoch lsl 24) lor (e.eidx lsl 12))
+    else ignore (Sim.after t.sim timeout (pfc_wd_fallback t e e.epfc_epoch))
+
+(* ------------------------------------------------------------------ *)
+(* Typed watchdog dispatch: one per-sim registry of switches, one shared
+   executor. The event replays exactly the epoch-and-still-paused check
+   the closure form made; a stale epoch (pause toggled or the switch
+   rebooted since arming) makes the event a no-op. *)
+
+type reg = { mutable sarr : t array; mutable sn : int }
+
+type Bfc_engine.Sim.user += Switch_reg of reg
+
+let watchdog_exec st a0 a1 =
+  match st with
+  | Switch_reg r ->
+    let t = Array.unsafe_get r.sarr a0 in
+    let epoch = a1 lsr 24 in
+    let e = t.egresses.((a1 lsr 12) land 0xfff) in
+    let q1 = a1 land 0xfff in
+    if q1 = 0 then pfc_wd_fallback t e epoch ()
+    else wd_fallback t e ~queue:(q1 - 1) epoch ()
+  | _ -> invalid_arg "Switch.watchdog_exec: foreign class state"
+
+let registry sim =
+  match Sim.class_state sim ~cls:Sim.cls_switch_ctrl with
+  | Some (Switch_reg r) -> r
+  | _ ->
+    let r = { sarr = [||]; sn = 0 } in
+    Sim.register_class sim ~cls:Sim.cls_switch_ctrl ~state:(Switch_reg r) ~exec:watchdog_exec;
+    r
 
 let handle_pfc t ~in_port pkt =
   let e = t.egresses.(in_port) in
@@ -417,6 +466,7 @@ let receive t ~in_port pkt =
     forward t ~in_port pkt
 
 let create ~sim ~node ~ports ~config:cfg ?pool ~route () =
+  let r = registry sim in
   let n_ingress = Array.length ports in
   let quantum = cfg.mtu + Packet.header_bytes in
   let egresses =
@@ -447,6 +497,7 @@ let create ~sim ~node ~ports ~config:cfg ?pool ~route () =
     {
       sim;
       node;
+      idx = r.sn;
       cfg;
       pool;
       route;
@@ -464,6 +515,14 @@ let create ~sim ~node ~ports ~config:cfg ?pool ~route () =
       rng = Bfc_util.Rng.create (0x5EED + node.Node.id);
     }
   in
+  if r.sn = Array.length r.sarr then begin
+    let ncap = max 16 (2 * r.sn) in
+    let ns = Array.make ncap t in
+    Array.blit r.sarr 0 ns 0 r.sn;
+    r.sarr <- ns
+  end;
+  r.sarr.(r.sn) <- t;
+  r.sn <- r.sn + 1;
   Array.iter (fun e -> Port.set_on_idle e.eport (fun () -> try_send t e)) egresses;
   node.Node.handler <- (fun ~in_port pkt -> receive t ~in_port pkt);
   t

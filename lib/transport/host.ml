@@ -69,7 +69,7 @@ type tx = {
   mutable cc : cc;
   mutable nic_q : int; (* -1 for priority-mapped (Homa) *)
   mutable rtx : (int * int) list; (* pending retransmit ranges *)
-  mutable rto_h : Sim.handle option;
+  mutable rto_t : Sim.token; (* pending RTO event, 0 = none *)
   mutable finished : bool;
   mutable granted : int; (* homa grant offset *)
   mutable grant_prio : int;
@@ -91,7 +91,7 @@ type rx = {
   mutable cr_w : float;
   mutable cr_sent : int;
   mutable cr_used : int;
-  mutable cr_pacer : Sim.handle option;
+  mutable cr_pacer : Sim.token; (* pending credit-pacer event, 0 = none *)
   mutable cr_feedback : Sim.ticker option;
   mutable cr_stop : bool;
 }
@@ -99,6 +99,7 @@ type rx = {
 type t = {
   sim : Sim.t;
   node : Node.t;
+  idx : int; (* index into the per-sim host registry, the [a0] of events *)
   cfg : config;
   pool : Packet.Pool.t option;
   nic : Nic.t;
@@ -272,8 +273,22 @@ let homa_start t tx =
   in
   blast ()
 
+(* Flow timers are typed [cls_flow_timeout] events: [a1] packs
+   (flow_id << 2) | kind, kind 0 = RTO, 1 = xpass credit pacer,
+   2 = delayed xpass credit stop, 3 = rate-pacer tick. The executor
+   re-finds the flow's tx/rx state by id — a reclaimed flow makes the
+   event a benign no-op, exactly like the old closures' [finished]
+   check. *)
+let rto_kind = 0
+
+let xpass_pace_kind = 1
+
+let xpass_stop_kind = 2
+
+let rate_pace_kind = 3
+
 (* Pacing loop for rate-based senders (DCQCN, Timely). *)
-let rec rate_pace t tx =
+let rate_pace t tx =
   if (not tx.finished) && (tx.snd_nxt < tx.flow.Flow.size || tx.rtx <> []) then begin
     if is_rate_based tx then begin
       let on_sent bytes =
@@ -304,51 +319,52 @@ let rec rate_pace t tx =
         if r <= 0.0 then Bfc_engine.Time.us 10.0
         else max 1 (int_of_float (float_of_int (mtu_wire t.cfg) /. r))
       in
-      ignore (Sim.after t.sim gap (fun () -> rate_pace t tx))
+      Sim.post t.sim (Sim.now t.sim + gap) ~cls:Sim.cls_flow_timeout ~a0:t.idx
+        ~a1:((tx.flow.Flow.id lsl 2) lor rate_pace_kind)
     end
   end
 
 (* ------------------------------------------------------------------ *)
 (* Timers                                                               *)
 
-let cancel_rto tx =
-  match tx.rto_h with
-  | Some h ->
-    Sim.cancel h;
-    tx.rto_h <- None
-  | None -> ()
+let cancel_rto t tx =
+  Sim.cancel_token t.sim tx.rto_t;
+  tx.rto_t <- 0
 
-let rec arm_rto t tx =
-  cancel_rto tx;
+let arm_rto t tx =
+  cancel_rto t tx;
   if not tx.finished then
-    tx.rto_h <-
-      Some
-        (Sim.after t.sim t.cfg.rto (fun () ->
-             tx.rto_h <- None;
-             if not tx.finished then begin
-               (* Don't rewind while our NIC queue is paused or backlogged:
-                  the data is safe, just flow-controlled. *)
-               let q = if tx.nic_q >= 0 then tx.nic_q else 0 in
-               let held =
-                 tx.nic_q >= 0
-                 && (Nic.queue_paused t.nic ~queue:q || Nic.queue_bytes t.nic ~queue:q > 0)
-               in
-               if not held then begin
-                 (match tx.cc with Cc_dctcp d -> Dctcp.on_timeout d | _ -> ());
-                 if tx.snd_nxt > tx.snd_una then begin
-                   t.bytes_retransmitted <- t.bytes_retransmitted + (tx.snd_nxt - tx.snd_una);
-                   tx.snd_nxt <- tx.snd_una;
-                   tx.rtx <- []
-                 end;
-                 pump t tx
-               end;
-               arm_rto t tx
-             end))
+    tx.rto_t <-
+      Sim.post_token t.sim
+        (Sim.now t.sim + t.cfg.rto)
+        ~cls:Sim.cls_flow_timeout ~a0:t.idx
+        ~a1:((tx.flow.Flow.id lsl 2) lor rto_kind)
+
+let rto_fire t tx =
+  tx.rto_t <- 0;
+  if not tx.finished then begin
+    (* Don't rewind while our NIC queue is paused or backlogged:
+       the data is safe, just flow-controlled. *)
+    let q = if tx.nic_q >= 0 then tx.nic_q else 0 in
+    let held =
+      tx.nic_q >= 0 && (Nic.queue_paused t.nic ~queue:q || Nic.queue_bytes t.nic ~queue:q > 0)
+    in
+    if not held then begin
+      (match tx.cc with Cc_dctcp d -> Dctcp.on_timeout d | _ -> ());
+      if tx.snd_nxt > tx.snd_una then begin
+        t.bytes_retransmitted <- t.bytes_retransmitted + (tx.snd_nxt - tx.snd_una);
+        tx.snd_nxt <- tx.snd_una;
+        tx.rtx <- []
+      end;
+      pump t tx
+    end;
+    arm_rto t tx
+  end
 
 let finish_tx t tx =
   if not tx.finished then begin
     tx.finished <- true;
-    cancel_rto tx;
+    cancel_rto t tx;
     (match tx.cc with Cc_dcqcn d -> Dcqcn.stop d | _ -> ());
     if tx.nic_q >= 1 then begin
       Nic.release_queue t.nic tx.nic_q;
@@ -490,7 +506,7 @@ let get_rx t flow =
         cr_w = 0.0;
         cr_sent = 0;
         cr_used = 0;
-        cr_pacer = None;
+        cr_pacer = 0;
         cr_feedback = None;
         cr_stop = false;
       }
@@ -514,14 +530,14 @@ let gbn_mode t =
   | _ -> true
 
 (* ExpressPass receiver: credit pacing with loss-based feedback. *)
-let xpass_stop_credits rx =
+let xpass_stop_credits t rx =
   rx.cr_stop <- true;
-  (match rx.cr_pacer with Some h -> Sim.cancel h | None -> ());
+  Sim.cancel_token t.sim rx.cr_pacer;
   (match rx.cr_feedback with Some tk -> Sim.stop_ticker tk | None -> ());
-  rx.cr_pacer <- None;
+  rx.cr_pacer <- 0;
   rx.cr_feedback <- None
 
-let rec xpass_pace t rx =
+let xpass_pace t rx =
   if not rx.cr_stop then begin
     let credit =
       match t.pool with
@@ -540,11 +556,13 @@ let rec xpass_pace t rx =
     let base = float_of_int (mtu_wire t.cfg) /. rx.cr_rate in
     let jitter = 0.8 +. (0.4 *. Bfc_util.Rng.float t.rng) in
     let gap = max 1 (int_of_float (base *. jitter)) in
-    rx.cr_pacer <- Some (Sim.after t.sim gap (fun () -> xpass_pace t rx))
+    rx.cr_pacer <-
+      Sim.post_token t.sim (Sim.now t.sim + gap) ~cls:Sim.cls_flow_timeout ~a0:t.idx
+        ~a1:((rx.rflow.Flow.id lsl 2) lor xpass_pace_kind)
   end
 
 let xpass_start_credits t rx ~target_loss ~w_init ~w_max =
-  if rx.cr_pacer = None && not rx.cr_stop then begin
+  if (not (Sim.token_pending t.sim rx.cr_pacer)) && not rx.cr_stop then begin
     let line = t.cfg.line_gbps /. 8.0 in
     rx.cr_rate <- line /. 2.0;
     rx.cr_w <- w_init;
@@ -617,7 +635,10 @@ let on_data t pkt =
     if pkt.Packet.ctrl_a > 0 then rx.cr_used <- rx.cr_used + 1;
     (* FIN: flow has no more data; stop crediting after the in-flight RTT *)
     if pkt.Packet.ctrl_b = 1 then
-      ignore (Sim.after t.sim t.cfg.base_rtt (fun () -> xpass_stop_credits rx))
+      Sim.post t.sim
+        (Sim.now t.sim + t.cfg.base_rtt)
+        ~cls:Sim.cls_flow_timeout ~a0:t.idx
+        ~a1:((flow.Flow.id lsl 2) lor xpass_stop_kind)
   | Bfc _ | Dctcp _ | Hpcc _ | Swift _ | Timely -> ());
   (* acknowledgements *)
   let ack_now =
@@ -645,7 +666,7 @@ let on_data t pkt =
   if now_cov >= flow.Flow.size && not rx.complete then begin
     rx.complete <- true;
     if flow.Flow.finish < 0 then flow.Flow.finish <- Sim.now t.sim;
-    (match t.cfg.scheme with Xpass _ -> xpass_stop_credits rx | _ -> ());
+    (match t.cfg.scheme with Xpass _ -> xpass_stop_credits t rx | _ -> ());
     t.complete_cb flow
   end
 
@@ -708,7 +729,7 @@ let start_flow t flow =
       cc;
       nic_q;
       rtx = [];
-      rto_h = None;
+      rto_t = 0;
       finished = false;
       granted = 0;
       grant_prio = 0;
@@ -746,7 +767,46 @@ let receive t ~in_port:_ pkt =
     Nic.on_ctrl t.nic pkt);
   recycle t pkt
 
+(* Typed flow-timer dispatch: one per-sim registry of hosts, one shared
+   executor keyed by the packed (flow_id, kind) in [a1]. *)
+
+type reg = { mutable harr : t array; mutable hn : int }
+
+type Bfc_engine.Sim.user += Host_reg of reg
+
+let timeout_exec st a0 a1 =
+  match st with
+  | Host_reg r ->
+    let t = Array.unsafe_get r.harr a0 in
+    let fid = a1 lsr 2 in
+    let kind = a1 land 3 in
+    if kind = rto_kind then begin
+      match Bfc_util.Int_table.find_exn t.txs fid with
+      | exception Not_found -> ()
+      | tx -> rto_fire t tx
+    end
+    else if kind = rate_pace_kind then begin
+      match Bfc_util.Int_table.find_exn t.txs fid with
+      | exception Not_found -> ()
+      | tx -> rate_pace t tx
+    end
+    else begin
+      match Bfc_util.Int_table.find_exn t.rxs fid with
+      | exception Not_found -> ()
+      | rx -> if kind = xpass_pace_kind then xpass_pace t rx else xpass_stop_credits t rx
+    end
+  | _ -> invalid_arg "Host.timeout_exec: foreign class state"
+
+let registry sim =
+  match Sim.class_state sim ~cls:Sim.cls_flow_timeout with
+  | Some (Host_reg r) -> r
+  | _ ->
+    let r = { harr = [||]; hn = 0 } in
+    Sim.register_class sim ~cls:Sim.cls_flow_timeout ~state:(Host_reg r) ~exec:timeout_exec;
+    r
+
 let create ~sim ~node ~port ~config:cfg ?pool () =
+  let r = registry sim in
   let nic =
     Nic.create ~sim ~port ~n_queues:cfg.nic_queues ~policy:cfg.nic_policy
       ~respect_pause:cfg.respect_pause ?pause_watchdog:cfg.pause_watchdog ?credit:cfg.nic_credit
@@ -757,6 +817,7 @@ let create ~sim ~node ~port ~config:cfg ?pool () =
     {
       sim;
       node;
+      idx = r.hn;
       cfg;
       pool;
       nic;
@@ -770,6 +831,14 @@ let create ~sim ~node ~port ~config:cfg ?pool () =
       bytes_retransmitted = 0;
     }
   in
+  if r.hn = Array.length r.harr then begin
+    let ncap = max 16 (2 * r.hn) in
+    let na = Array.make ncap t in
+    Array.blit r.harr 0 na 0 r.hn;
+    r.harr <- na
+  end;
+  r.harr.(r.hn) <- t;
+  r.hn <- r.hn + 1;
   Nic.set_on_dequeue nic (fun q ->
       if q >= 0 && q < Array.length t.owners then List.iter (fun tx -> pump t tx) !(t.owners.(q)));
   node.Node.handler <- (fun ~in_port pkt -> receive t ~in_port pkt);

@@ -7,6 +7,7 @@ module Balance = Bfc_core.Credit_dataplane.Balance
 
 type t = {
   sim : Bfc_engine.Sim.t;
+  idx : int; (* index into the per-sim NIC registry, the [a0] of events *)
   port : Port.t;
   queues : Fifo.t array;
   sched : Sched.t;
@@ -25,35 +26,7 @@ type t = {
   mutable on_pause : queue:int -> paused:bool -> unit; (* telemetry tap *)
 }
 
-let rec create ~sim ~port ~n_queues ~policy ~respect_pause ?pause_watchdog ?credit () =
-  if n_queues < 2 then invalid_arg "Nic.create: need >= 2 queues";
-  let queues = Array.init n_queues (fun idx -> Fifo.create ~idx ~cls:0) in
-  let quantum = 1100 + Packet.header_bytes in
-  let t =
-    {
-      sim;
-      port;
-      queues;
-      sched = Sched.create policy ~queues ~classes:1 ~quantum;
-      respect_pause;
-      pfc_paused = false;
-      occupants = Array.make n_queues 0;
-      rr = 1;
-      on_dequeue = ignore;
-      backlog = 0;
-      credit = Option.map (fun initial -> Balance.create ~queues:n_queues ~initial) credit;
-      pause_watchdog;
-      ctrl_paused = Array.make n_queues false;
-      wd_epoch = Array.make n_queues 0;
-      pfc_epoch = 0;
-      watchdog_fires = 0;
-      on_pause = (fun ~queue:_ ~paused:_ -> ());
-    }
-  in
-  Port.set_on_idle port (fun () -> try_send t);
-  t
-
-and try_send t =
+let try_send t =
   if not t.pfc_paused then begin
     if Port.busy t.port then Port.ensure_wakeup t.port
     else begin
@@ -91,23 +64,103 @@ let credit_starved t queue =
     | None -> false)
   | _ -> false
 
+let wd_fallback t queue epoch () =
+  if t.wd_epoch.(queue) = epoch && t.ctrl_paused.(queue) then begin
+    t.watchdog_fires <- t.watchdog_fires + 1;
+    t.wd_epoch.(queue) <- t.wd_epoch.(queue) + 1;
+    t.ctrl_paused.(queue) <- false;
+    t.on_pause ~queue ~paused:false;
+    if not (credit_starved t queue) then begin
+      Sched.set_paused t.sched t.queues.(queue) false;
+      try_send t
+    end
+  end
+
+let pfc_wd_fallback t epoch () =
+  if t.pfc_epoch = epoch && t.pfc_paused then begin
+    t.watchdog_fires <- t.watchdog_fires + 1;
+    t.pfc_epoch <- t.pfc_epoch + 1;
+    t.pfc_paused <- false;
+    t.on_pause ~queue:(-1) ~paused:false;
+    try_send t
+  end
+
+(* Typed watchdog dispatch ([cls_nic_ctrl]): [a1] packs
+   (epoch << 12) | (queue + 1), queue slot 0 = the uplink PFC watchdog.
+   One per-sim registry of NICs, one shared executor; a NIC with >= 4095
+   queues falls back to the closure path (schedule-identical). *)
+
+type reg = { mutable narr : t array; mutable nn : int }
+
+type Bfc_engine.Sim.user += Nic_reg of reg
+
+let watchdog_exec st a0 a1 =
+  match st with
+  | Nic_reg r ->
+    let t = Array.unsafe_get r.narr a0 in
+    let epoch = a1 lsr 12 in
+    let q1 = a1 land 0xfff in
+    if q1 = 0 then pfc_wd_fallback t epoch () else wd_fallback t (q1 - 1) epoch ()
+  | _ -> invalid_arg "Nic.watchdog_exec: foreign class state"
+
+let registry sim =
+  match Bfc_engine.Sim.class_state sim ~cls:Bfc_engine.Sim.cls_nic_ctrl with
+  | Some (Nic_reg r) -> r
+  | _ ->
+    let r = { narr = [||]; nn = 0 } in
+    Bfc_engine.Sim.register_class sim ~cls:Bfc_engine.Sim.cls_nic_ctrl ~state:(Nic_reg r)
+      ~exec:watchdog_exec;
+    r
+
+let create ~sim ~port ~n_queues ~policy ~respect_pause ?pause_watchdog ?credit () =
+  if n_queues < 2 then invalid_arg "Nic.create: need >= 2 queues";
+  let r = registry sim in
+  let queues = Array.init n_queues (fun idx -> Fifo.create ~idx ~cls:0) in
+  let quantum = 1100 + Packet.header_bytes in
+  let t =
+    {
+      sim;
+      idx = r.nn;
+      port;
+      queues;
+      sched = Sched.create policy ~queues ~classes:1 ~quantum;
+      respect_pause;
+      pfc_paused = false;
+      occupants = Array.make n_queues 0;
+      rr = 1;
+      on_dequeue = ignore;
+      backlog = 0;
+      credit = Option.map (fun initial -> Balance.create ~queues:n_queues ~initial) credit;
+      pause_watchdog;
+      ctrl_paused = Array.make n_queues false;
+      wd_epoch = Array.make n_queues 0;
+      pfc_epoch = 0;
+      watchdog_fires = 0;
+      on_pause = (fun ~queue:_ ~paused:_ -> ());
+    }
+  in
+  if r.nn = Array.length r.narr then begin
+    let ncap = max 16 (2 * r.nn) in
+    let na = Array.make ncap t in
+    Array.blit r.narr 0 na 0 r.nn;
+    r.narr <- na
+  end;
+  r.narr.(r.nn) <- t;
+  r.nn <- r.nn + 1;
+  Port.set_on_idle port (fun () -> try_send t);
+  t
+
 let arm_queue_watchdog t queue =
   match t.pause_watchdog with
   | None -> ()
   | Some timeout ->
     let epoch = t.wd_epoch.(queue) in
-    ignore
-      (Bfc_engine.Sim.after t.sim timeout (fun () ->
-           if t.wd_epoch.(queue) = epoch && t.ctrl_paused.(queue) then begin
-             t.watchdog_fires <- t.watchdog_fires + 1;
-             t.wd_epoch.(queue) <- t.wd_epoch.(queue) + 1;
-             t.ctrl_paused.(queue) <- false;
-             t.on_pause ~queue ~paused:false;
-             if not (credit_starved t queue) then begin
-               Sched.set_paused t.sched t.queues.(queue) false;
-               try_send t
-             end
-           end))
+    if queue < 4095 then
+      Bfc_engine.Sim.post t.sim
+        (Bfc_engine.Sim.now t.sim + timeout)
+        ~cls:Bfc_engine.Sim.cls_nic_ctrl ~a0:t.idx
+        ~a1:((epoch lsl 12) lor (queue + 1))
+    else ignore (Bfc_engine.Sim.after t.sim timeout (wd_fallback t queue epoch))
 
 (* Apply a ctrl-frame pause/resume; every pause assertion (including bitmap
    refreshes) re-arms the watchdog deadline. *)
@@ -122,16 +175,9 @@ let arm_pfc_watchdog t =
   match t.pause_watchdog with
   | None -> ()
   | Some timeout ->
-    let epoch = t.pfc_epoch in
-    ignore
-      (Bfc_engine.Sim.after t.sim timeout (fun () ->
-           if t.pfc_epoch = epoch && t.pfc_paused then begin
-             t.watchdog_fires <- t.watchdog_fires + 1;
-             t.pfc_epoch <- t.pfc_epoch + 1;
-             t.pfc_paused <- false;
-             t.on_pause ~queue:(-1) ~paused:false;
-             try_send t
-           end))
+    Bfc_engine.Sim.post t.sim
+      (Bfc_engine.Sim.now t.sim + timeout)
+      ~cls:Bfc_engine.Sim.cls_nic_ctrl ~a0:t.idx ~a1:(t.pfc_epoch lsl 12)
 
 let watchdog_fires t = t.watchdog_fires
 

@@ -160,6 +160,28 @@ let pop_min_exn t =
   end;
   top
 
+(* Batched pop, ordering-compatible with [Wheel.drain_run]: drain the
+   maximal leading run of entries at priority [time] with rank strictly
+   below [rank_bound] (entries inserted at earlier clocks, which nothing
+   [f] executes can overtake), calling [f] on each; when the head itself
+   is at or above the bound, pop exactly one entry. [f] may push — the
+   parallel arrays are re-read from [t] every iteration, and a push at
+   the same priority carries rank >= the bound, which ends the run —
+   but must not pop. The heap still pays a sift per entry; the win here
+   is the caller's amortized head checks, not the pop itself. *)
+let drain_run t ~time ~rank_bound f =
+  let n = ref 0 in
+  while
+    t.size > 0
+    && Array.unsafe_get t.prios 0 = time
+    && (!n = 0 || Array.unsafe_get t.ranks 0 < rank_bound)
+  do
+    let v = pop_min_exn t in
+    incr n;
+    f v
+  done;
+  !n
+
 let pop t =
   if t.size = 0 then None
   else begin

@@ -41,6 +41,15 @@ val pop_min_exn : 'a t -> 'a
     allocating. Raises {!Empty} when the heap is empty. *)
 val peek_priority : 'a t -> int
 
+(** [drain_run t ~time ~rank_bound f] pops a same-instant batch,
+    calling [f] on each entry in pop order, and returns the batch
+    length — the same contract as {!Bfc_util.Wheel.drain_run}, so the
+    simulator's fused run loop is backend-agnostic: the maximal leading
+    run at priority [time] with rank strictly below [rank_bound], or
+    exactly one entry when the head is at or above the bound. [f] may
+    push but must not pop. *)
+val drain_run : 'a t -> time:int -> rank_bound:int -> ('a -> unit) -> int
+
 (** [peek t] returns the minimum without removing it. *)
 val peek : 'a t -> (int * 'a) option
 

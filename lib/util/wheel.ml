@@ -61,6 +61,7 @@ type 'a t = {
   lv : 'a bucket array array; (* lv.(level).(slot) *)
   l0 : 'a bucket array; (* alias of lv.(0), the hot level *)
   garbage : 'a -> bool;
+  release : 'a -> unit; (* called on every purged garbage entry *)
   mutable wnow : int; (* deadline of the bucket under the cursor *)
   mutable ci : int; (* pop cursor inside the current level-0 bucket *)
   mutable size : int; (* resident entries, including unpurged garbage *)
@@ -75,12 +76,12 @@ let () =
     | Empty -> Some "Wheel.Empty (pop on an empty wheel)"
     | _ -> None)
 
-let create ?(garbage = fun _ -> false) () =
+let create ?(garbage = fun _ -> false) ?(release = fun _ -> ()) () =
   let lv =
     Array.init levels (fun _ ->
         Array.init bsize (fun _ -> { bt = [||]; br = [||]; bs = [||]; bv = [||]; blen = 0 }))
   in
-  { lv; l0 = lv.(0); garbage; wnow = 0; ci = 0; size = 0; next_seq = 0; cap = 0 }
+  { lv; l0 = lv.(0); garbage; release; wnow = 0; ci = 0; size = 0; next_seq = 0; cap = 0 }
 
 let length t = t.size
 
@@ -135,7 +136,10 @@ let bucket_compact t b =
   let w = ref 0 in
   for k = 0 to b.blen - 1 do
     let v = Array.unsafe_get b.bv k in
-    if t.garbage v then t.size <- t.size - 1
+    if t.garbage v then begin
+      t.size <- t.size - 1;
+      t.release v
+    end
     else begin
       if !w < k then begin
         Array.unsafe_set b.bt !w (Array.unsafe_get b.bt k);
@@ -307,7 +311,10 @@ let redistribute t src =
   src.blen <- 0;
   for k = 0 to n - 1 do
     let v = Array.unsafe_get src.bv k in
-    if t.garbage v then t.size <- t.size - 1
+    if t.garbage v then begin
+      t.size <- t.size - 1;
+      t.release v
+    end
     else begin
       let time = Array.unsafe_get src.bt k in
       let l = level_for t time in
@@ -387,6 +394,44 @@ let pop_min_exn t =
     t.ci <- t.ci + 1;
     t.size <- t.size - 1;
     v
+  end
+
+(* Batched pop: one reposition, then a straight scan of the (sorted)
+   cursor bucket, calling [f] on each drained entry. Drains the maximal
+   leading run of entries at deadline [time] whose rank is strictly
+   below [rank_bound]; when the head entry itself is at or above the
+   bound, pops exactly that one entry. The caller (Sim's fused run
+   loop) passes [time = head_time] and [rank_bound = time lsl key_bits]:
+   entries below the bound were inserted at strictly earlier clocks, so
+   nothing [f] executes can push ahead of them — same-time entries pop
+   in non-decreasing rank order, so the eligible run is exactly a
+   prefix. [f] may push (the bucket arrays and [blen] are re-read every
+   iteration, and a same-instant push carries rank >= the bound, which
+   ends the run) but must not pop. The callback is the same value every
+   call (Sim preallocates it), so the indirect call predicts perfectly —
+   and nothing is copied out, so the drain itself performs no writes to
+   the heap. Returns the number of entries drained (0 only when the
+   wheel is empty or the head moved off [time]). *)
+let drain_run t ~time ~rank_bound f =
+  if not (reposition t) then 0
+  else begin
+    let b = Array.unsafe_get t.l0 (t.wnow land bmask) in
+    if Array.unsafe_get b.bt t.ci <> time then 0
+    else begin
+      let n = ref 0 in
+      while
+        t.ci < b.blen
+        && Array.unsafe_get b.bt t.ci = time
+        && (!n = 0 || Array.unsafe_get b.br t.ci < rank_bound)
+      do
+        let v = Array.unsafe_get b.bv t.ci in
+        t.ci <- t.ci + 1;
+        t.size <- t.size - 1;
+        incr n;
+        f v
+      done;
+      !n
+    end
   end
 
 (* Keep the bucket arrays: cleared wheels refill without re-growing.

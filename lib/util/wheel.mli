@@ -33,10 +33,14 @@ type 'a t
 
 exception Empty
 
-val create : ?garbage:('a -> bool) -> unit -> 'a t
-(** [create ?garbage ()] makes an empty wheel. [garbage v] should
-    return [true] when [v] is a dead (cancelled) entry safe to drop
-    during a cascade; it defaults to [fun _ -> false] (never purge). *)
+val create : ?garbage:('a -> bool) -> ?release:('a -> unit) -> unit -> 'a t
+(** [create ?garbage ?release ()] makes an empty wheel. [garbage v]
+    should return [true] when [v] is a dead (cancelled) entry safe to
+    drop during a cascade; it defaults to [fun _ -> false] (never
+    purge). [release v] is invoked on every entry the wheel purges as
+    garbage — an owner that pools its entries (Sim's typed event table)
+    uses it to reclaim the slot, since a purged entry never reaches
+    {!pop_min_exn}. Defaults to a no-op. *)
 
 val length : 'a t -> int
 (** Resident entries, including dead ones not yet purged or popped. *)
@@ -73,6 +77,20 @@ val head_time : 'a t -> int
 val pop_min_exn : 'a t -> 'a
 (** Remove and return the entry with the smallest (deadline, insertion
     order). Never allocates. @raise Empty when the wheel is empty. *)
+
+val drain_run : 'a t -> time:int -> rank_bound:int -> ('a -> unit) -> int
+(** [drain_run t ~time ~rank_bound f] pops a same-instant batch,
+    calling [f] on each entry in pop order, and returns the batch
+    length: the maximal leading run of entries at deadline [time] whose
+    rank is strictly below [rank_bound], or exactly one entry when the
+    head is at or above the bound. One cursor reposition covers the
+    whole batch (against one per {!head_time}/{!pop_min_exn} pair),
+    which is the wheel's share of the simulator's same-instant batch
+    execution. [f] may push into the wheel but must not pop. Ordering
+    caveat: entries at or above [rank_bound] may still be overtaken by
+    pushes [f] makes, so only the caller's bound choice makes batch
+    draining order-safe (see the simulator's run loop). Returns 0 when
+    the wheel is empty or the head deadline is not [time]. *)
 
 val clear : 'a t -> unit
 (** Empty the wheel and rewind the cursor to time 0, keeping bucket

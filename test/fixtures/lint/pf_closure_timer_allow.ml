@@ -1,0 +1,4 @@
+(* Fixture: PF001 suppressed. *)
+let arm_watchdog sim timeout =
+  (* armed once at wiring time, not per packet; bfc-lint: allow pf-closure-timer *)
+  ignore (Sim.after sim timeout (fun () -> ()))

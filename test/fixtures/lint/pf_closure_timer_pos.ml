@@ -1,0 +1,4 @@
+(* Fixture: PF001 pf-closure-timer must fire — arming a timer with a
+   closure literal allocates on every arm. *)
+let arm_watchdog sim timeout =
+  ignore (Sim.after sim timeout (fun () -> ignore sim))

@@ -1,0 +1,158 @@
+(* Typed-dispatch differential suite (PR 10).
+
+   The golden fixtures under fixtures/dispatch/ were generated from the
+   PR-9 closure-based engine (set BFC_DISPATCH_FIXGEN=1 and
+   BFC_DISPATCH_FIXDIR=<abs path> to regenerate).  Every run of the
+   typed-dispatch engine — wheel and heap backends, sequential and
+   [--shards 2] — must reproduce them byte for byte: FCT rows, per-flow
+   records, injected/completed counters, and buffer p99.  This is the
+   same proof shape PR 5 (wheel vs heap) and PR 8 (sharded vs
+   sequential) used, anchored against the previous engine generation
+   instead of a sibling configuration. *)
+
+open Alcotest
+module Sim = Bfc_engine.Sim
+module Flow = Bfc_net.Flow
+module Exp_common = Bfc_sim.Exp_common
+module Scheme = Bfc_sim.Scheme
+module Runner = Bfc_sim.Runner
+
+let fixture_dir =
+  if Sys.file_exists "fixtures/dispatch" then "fixtures/dispatch"
+  else "test/fixtures/dispatch"
+
+(* ------------------------- canonical rendering --------------------- *)
+
+(* Everything the acceptance criteria name, as one stable text blob.
+   Executed-event counts are deliberately absent: sequential and sharded
+   runs agree on outputs, not on per-shard bookkeeping events (the
+   equal-event-count assertion lives in [bench --macro]). *)
+let render (r : Exp_common.std_result) =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "injected %d\n" (Runner.injected r.Exp_common.env);
+  Printf.bprintf b "completed %d\n" (Runner.completed r.Exp_common.env);
+  List.iter
+    (fun f ->
+      Printf.bprintf b "flow %d %d %d %d %d %d %d\n" f.Flow.id f.Flow.src
+        f.Flow.dst f.Flow.size f.Flow.delivered f.Flow.finish f.Flow.first_byte)
+    r.Exp_common.flows;
+  List.iter
+    (fun row -> Printf.bprintf b "fct %s\n" (String.concat " " row))
+    (Exp_common.fct_rows r);
+  Printf.bprintf b "buffer_p99 %.6f\n" (Exp_common.buffer_p99 r);
+  Buffer.contents b
+
+(* ----------------------------- workloads --------------------------- *)
+
+let workloads =
+  [
+    ( "fig7",
+      fun () ->
+        {
+          (Exp_common.std Exp_common.Smoke (Scheme.Bfc Scheme.bfc_default)) with
+          Exp_common.sp_seed = 7;
+        } );
+    ( "incast",
+      fun () ->
+        {
+          (Exp_common.std Exp_common.Smoke (Scheme.Bfc Scheme.bfc_default)) with
+          Exp_common.sp_incast = Some Exp_common.default_incast;
+          sp_seed = 3;
+        } );
+    ( "credit",
+      fun () ->
+        {
+          (Exp_common.std Exp_common.Smoke Scheme.expresspass) with
+          Exp_common.sp_seed = 5;
+        } );
+  ]
+
+let with_sched sched f =
+  let prev = Sim.default_sched () in
+  Sim.set_default_sched sched;
+  Fun.protect ~finally:(fun () -> Sim.set_default_sched prev) f
+
+let run_leg sched shards setup =
+  with_sched sched (fun () ->
+      if shards = 1 then Exp_common.run_std_seq setup
+      else Exp_common.run_std_sharded setup ~shards)
+
+let legs =
+  [
+    ("wheel", Sim.Wheel, 1);
+    ("heap", Sim.Heap, 1);
+    ("wheel-shards2", Sim.Wheel, 2);
+    ("heap-shards2", Sim.Heap, 2);
+  ]
+
+(* --------------------------- fixture plumbing ---------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let fixgen = Sys.getenv_opt "BFC_DISPATCH_FIXGEN" = Some "1"
+
+let fixgen_dir () =
+  match Sys.getenv_opt "BFC_DISPATCH_FIXDIR" with
+  | Some d -> d
+  | None -> fixture_dir
+
+(* In generation mode the wheel leg is the canonical source, but we
+   still require all four legs to agree before writing anything — a
+   fixture the current engine cannot reproduce on every leg would gate
+   the refactor on a pre-existing divergence, not a dispatch bug. *)
+let generate name setup =
+  let expected = render (run_leg Sim.Wheel 1 (setup ())) in
+  List.iter
+    (fun (leg, sched, shards) ->
+      let got = render (run_leg sched shards (setup ())) in
+      if got <> expected then
+        failf "%s: leg %s disagrees with the wheel leg at generation time" name
+          leg)
+    (List.tl legs);
+  let path = Filename.concat (fixgen_dir ()) (name ^ ".expected") in
+  write_file path expected;
+  Printf.printf "wrote %s (%d bytes)\n%!" path (String.length expected)
+
+let first_diff_line a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i = function
+    | x :: xs, y :: ys ->
+      if String.equal x y then go (i + 1) (xs, ys)
+      else Printf.sprintf "line %d: %S vs %S" i x y
+    | x :: _, [] -> Printf.sprintf "line %d: %S vs <eof>" i x
+    | [], y :: _ -> Printf.sprintf "line %d: <eof> vs %S" i y
+    | [], [] -> "identical"
+  in
+  go 1 (la, lb)
+
+let check_leg name setup (leg, sched, shards) () =
+  if fixgen then (
+    (* generation runs once per workload, on the first leg *)
+    if leg = "wheel" then generate name setup)
+  else
+    let path = Filename.concat fixture_dir (name ^ ".expected") in
+    let expected = read_file path in
+    let got = render (run_leg sched shards (setup ())) in
+    if not (String.equal got expected) then
+      failf "%s/%s diverged from the PR-9 fixture (%s)" name leg
+        (first_diff_line expected got)
+
+let suite =
+  List.concat_map
+    (fun (name, setup) ->
+      List.map
+        (fun ((leg, _, _) as l) ->
+          test_case
+            (Printf.sprintf "%s byte-identical (%s)" name leg)
+            `Slow
+            (check_leg name setup l))
+        legs)
+    workloads

@@ -17,6 +17,9 @@ let dataplane_path = "lib/bfc/dataplane.ml"
 
 let lib_path = "lib/sim/fixture.ml"
 
+(* PF rules apply to the hot scheduling modules (Driver.perf_files). *)
+let perf_path = "lib/switch/switch.ml"
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -55,6 +58,7 @@ let cases =
     ("det_hashtbl", "DT004", lib_path);
     ("rob_catchall", "RB001", lib_path);
     ("rob_assert_false", "RB002", lib_path);
+    ("pf_closure_timer", "PF001", perf_path);
   ]
 
 let test_rule_fires () =
@@ -113,6 +117,29 @@ let test_seeded_list_iter_fails () =
   let seeded = dataplane ^ "\nlet seeded q = List.iter ignore q\n" in
   let findings = lint_inline ~virtual_path:dataplane_path seeded in
   Alcotest.(check bool) "seeded List.iter violates" true (fires "DF001" findings)
+
+let test_pf_scoped_and_named_handles_pass () =
+  (* A closure timer outside the perf set is fine — PF rules are scoped. *)
+  let findings = lint_fixture ~virtual_path:lib_path "pf_closure_timer_pos.ml" in
+  Alcotest.(check bool) "PF001 silent outside the perf set" false (fires "PF001" findings);
+  (* A named partial application is not a closure literal — the rare
+     fallback arms in switch.ml/nic.ml arm this way and must pass. *)
+  let named =
+    lint_inline ~virtual_path:perf_path
+      "let arm t e epoch timeout = ignore (Sim.after t.sim timeout (wd_fallback t e epoch))\n"
+  in
+  Alcotest.(check bool) "named fallback passes" false (fires "PF001" named);
+  (* Typed posts pass, and the dataplane modules are also perf scope. *)
+  let typed =
+    lint_inline ~virtual_path:dataplane_path
+      "let arm t timeout = Sim.post t.sim timeout ~cls:Sim.cls_switch_ctrl ~a0:0 ~a1:0\n"
+  in
+  Alcotest.(check bool) "typed post passes" false (fires "PF001" typed);
+  let seeded =
+    lint_inline ~virtual_path:dataplane_path
+      "let arm t timeout = ignore (Sim.after t.sim timeout (fun () -> ignore t))\n"
+  in
+  Alcotest.(check bool) "dataplane closure timer violates" true (fires "PF001" seeded)
 
 let test_seeded_random_fails () =
   let seeded = "let jitter () = Random.float 1.0\n" in
@@ -173,8 +200,11 @@ let test_rule_lookup () =
   (match Rule.find "det-random" with
   | Some r -> Alcotest.(check string) "by name" "DT001" r.Rule.id
   | None -> Alcotest.fail "det-random not found");
+  (match Rule.find "pf-closure-timer" with
+  | Some r -> Alcotest.(check string) "pf by name" "PF001" r.Rule.id
+  | None -> Alcotest.fail "pf-closure-timer not found");
   Alcotest.(check bool) "unknown" true (Rule.find "nope" = None);
-  Alcotest.(check int) "eleven rules" 11 (List.length Rule.all)
+  Alcotest.(check int) "twelve rules" 12 (List.length Rule.all)
 
 let suite =
   [
@@ -184,6 +214,7 @@ let suite =
     ("df rules scoped to dataplane", `Quick, test_df_scoped_to_dataplane);
     ("control-plane marker", `Quick, test_control_plane_marker);
     ("allow all keyword", `Quick, test_allow_all_keyword);
+    ("pf scope and named handles", `Quick, test_pf_scoped_and_named_handles_pass);
     ("seeded list iter violates", `Quick, test_seeded_list_iter_fails);
     ("seeded random violates", `Quick, test_seeded_random_fails);
     ("repo tree is lint-clean", `Quick, test_repo_is_clean);

@@ -21,4 +21,5 @@ let () =
       ("obs", Test_obs.suite);
       ("pdes", Test_pdes.suite);
       ("stream", Test_stream.suite);
+      ("dispatch", Test_dispatch.suite);
     ]

@@ -451,7 +451,9 @@ let test_telemetry_end_to_end () =
   (* registry and engine-profile JSON both parse *)
   ignore (parse_json (Telemetry.counters_json tel));
   let prof = parse_json (Telemetry.engine_profile_json env) in
-  checkb "engine executed events" true (num (field "executed" prof) > 0.0)
+  checkb "engine executed events" true (num (field "executed" prof) > 0.0);
+  (* traffic ran, so typed events (deliveries, tx wakeups) must appear *)
+  checkb "typed events counted" true (num (field "typed" prof) > 0.0)
 
 let test_telemetry_disabled () =
   let _sim, st, env = small_env () in
